@@ -1,0 +1,134 @@
+package dense802154
+
+import (
+	"dense802154/internal/contention"
+	"dense802154/internal/core"
+	"dense802154/internal/experiments"
+	"dense802154/internal/netsim"
+	"dense802154/internal/phy"
+	"dense802154/internal/radio"
+	"dense802154/internal/stats"
+	"dense802154/internal/units"
+)
+
+// Re-exported model types. Params configures one evaluation of the paper's
+// analytical model; Metrics is its output.
+type (
+	Params            = core.Params
+	Metrics           = core.Metrics
+	Breakdown         = core.Breakdown
+	StateTimes        = core.StateTimes
+	CaseStudyConfig   = core.CaseStudyConfig
+	CaseStudyResult   = core.CaseStudyResult
+	Threshold         = core.Threshold
+	EnergyCurve       = core.EnergyCurve
+	ImprovementResult = core.ImprovementResult
+)
+
+// Re-exported radio types.
+type (
+	Radio   = radio.Characterization
+	TXLevel = radio.TXLevel
+	Power   = units.Power
+	Energy  = units.Energy
+)
+
+// Re-exported contention and simulation types.
+type (
+	ContentionConfig = contention.Config
+	ContentionResult = contention.Result
+	ContentionStats  = contention.Stats
+	SimConfig        = netsim.Config
+	SimResult        = netsim.Result
+	Experiment       = experiments.Experiment
+	ExperimentOpts   = experiments.Options
+	Table            = stats.Table
+)
+
+// AutoTXLevel requests link adaptation in Params.TXLevelIndex.
+const AutoTXLevel = core.AutoTXLevel
+
+// DefaultParams returns the paper's §5 case-study configuration: CC2420
+// radio, eq. (1) bit-error model, Monte-Carlo contention source, BO=6,
+// 120-byte packets at 43% load.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Evaluate runs the analytical model (eqs. 3-14).
+func Evaluate(p Params) (Metrics, error) { return core.Evaluate(p) }
+
+// OptimalTXLevel picks the energy-optimal transmit level for p's path loss
+// (channel-inversion link adaptation).
+func OptimalTXLevel(p Params) (int, error) { return core.OptimalTXLevel(p) }
+
+// Thresholds locates the link-adaptation switching path losses (Fig. 7).
+func Thresholds(p Params, losses []float64) ([]Threshold, error) {
+	return core.Thresholds(p, losses)
+}
+
+// EnergyVsPathLoss evaluates energy per bit across a path-loss grid for
+// every transmit level (the Fig. 7 curve family).
+func EnergyVsPathLoss(p Params, losses []float64) ([]EnergyCurve, error) {
+	return core.EnergyVsPathLoss(p, losses)
+}
+
+// AdaptationSavings reports the energy saved by link adaptation versus
+// always transmitting at full power.
+func AdaptationSavings(p Params, lossDB float64) (float64, error) {
+	return core.AdaptationSavings(p, lossDB)
+}
+
+// EnergyVsPayload evaluates energy per bit across payload sizes (Fig. 8).
+func EnergyVsPayload(p Params, sizes []int) (stats.Series, error) {
+	return core.EnergyVsPayload(p, sizes)
+}
+
+// OptimalPayload reports the energy-optimal payload size.
+func OptimalPayload(p Params, step int) (int, float64, error) {
+	return core.OptimalPayload(p, step)
+}
+
+// DefaultCaseStudy returns the paper's 1600-node scenario.
+func DefaultCaseStudy() CaseStudyConfig { return core.DefaultCaseStudy() }
+
+// RunCaseStudy integrates the model over the path-loss population (§5).
+func RunCaseStudy(p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
+	return core.RunCaseStudy(p, cfg)
+}
+
+// EvaluateImprovements runs the §5 radio-architecture ablations.
+func EvaluateImprovements(p Params, cfg CaseStudyConfig) (ImprovementResult, error) {
+	return core.EvaluateImprovements(p, cfg, core.DefaultImprovements())
+}
+
+// CC2420 returns the paper's measured radio characterization (Fig. 3).
+func CC2420() *Radio { return radio.CC2420() }
+
+// Eq1BER is the paper's measured bit-error regression (eq. 1).
+var Eq1BER = phy.Eq1
+
+// SimulateContention runs the Monte-Carlo slotted CSMA/CA characterization
+// (the methodology behind Fig. 6).
+func SimulateContention(cfg ContentionConfig) ContentionResult {
+	return contention.Simulate(cfg)
+}
+
+// Simulate runs the cycle-accurate discrete-event network simulation.
+func Simulate(cfg SimConfig) SimResult { return netsim.Run(cfg) }
+
+// Experiments lists the registered paper-artifact drivers.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes one driver by name (e.g. "fig6", "casestudy").
+func RunExperiment(name string, opt ExperimentOpts) ([]*Table, error) {
+	e, ok := experiments.ByName(name)
+	if !ok {
+		return nil, errUnknownExperiment(name)
+	}
+	return e.Run(opt)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "dense802154: unknown experiment " + string(e)
+}

@@ -1,0 +1,189 @@
+// Top-level benchmark harness: one benchmark per table/figure of the
+// paper, each regenerating the artifact through the same driver the
+// wsn-experiments command uses, plus micro-benchmarks of the hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks run the drivers at reduced Monte-Carlo scale per
+// iteration and report the headline reproduced quantities as custom
+// metrics (µW, probabilities, nJ/bit), so a benchmark run doubles as a
+// regression check of the reproduction.
+package dense802154_test
+
+import (
+	"testing"
+
+	"dense802154"
+	"dense802154/internal/contention"
+	"dense802154/internal/core"
+	"dense802154/internal/experiments"
+	"dense802154/internal/netsim"
+	"dense802154/internal/phy"
+)
+
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{Quick: true, Seed: int64(1000 + i)}
+}
+
+// runDriver executes a registered experiment driver b.N times.
+func runDriver(b *testing.B, name string) {
+	b.Helper()
+	e, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Characterization regenerates the radio characterization
+// tables of Fig. 3.
+func BenchmarkFig3Characterization(b *testing.B) { runDriver(b, "fig3") }
+
+// BenchmarkFig4BER regenerates the BER sweep and eq. (1) regression of
+// Fig. 4.
+func BenchmarkFig4BER(b *testing.B) { runDriver(b, "fig4") }
+
+// BenchmarkFig5Timeline regenerates the uplink transaction timeline of
+// Fig. 5 from the event simulator's trace facility.
+func BenchmarkFig5Timeline(b *testing.B) { runDriver(b, "fig5") }
+
+// BenchmarkFig6Contention regenerates the four CSMA/CA characterization
+// panels of Fig. 6 and reports the case-study operating point.
+func BenchmarkFig6Contention(b *testing.B) {
+	runDriver(b, "fig6")
+	r := contention.Simulate(contention.Config{
+		TargetLoad: 0.433, Superframes: 40, Seed: 42,
+	})
+	b.ReportMetric(r.PrCF, "Prcf@0.43")
+	b.ReportMetric(r.PrCol, "Prcol@0.43")
+	b.ReportMetric(r.MeanCCAs, "NCCA@0.43")
+}
+
+// BenchmarkFig7LinkAdaptation regenerates the energy-vs-path-loss family
+// and switching thresholds of Fig. 7.
+func BenchmarkFig7LinkAdaptation(b *testing.B) { runDriver(b, "fig7") }
+
+// BenchmarkFig8PacketSize regenerates the energy-vs-payload study of
+// Fig. 8.
+func BenchmarkFig8PacketSize(b *testing.B) { runDriver(b, "fig8") }
+
+// BenchmarkFig9Breakdown regenerates the phase/state breakdowns of Fig. 9
+// and reports the reproduced shares.
+func BenchmarkFig9Breakdown(b *testing.B) {
+	runDriver(b, "fig9")
+	cs, err := dense802154.RunCaseStudy(dense802154.DefaultParams(), dense802154.DefaultCaseStudy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := cs.Breakdown.Share()
+	b.ReportMetric(sh[0]*100, "%beacon")
+	b.ReportMetric(sh[1]*100, "%contention")
+	b.ReportMetric(sh[2]*100, "%transmit")
+	b.ReportMetric(sh[3]*100, "%ack")
+	b.ReportMetric(cs.States.Fractions()[0]*100, "%shutdown")
+}
+
+// BenchmarkCaseStudy regenerates the §5 headline numbers (paper: 211 µW,
+// 16% failure, 1.45 s delay) and reports the reproduced values.
+func BenchmarkCaseStudy(b *testing.B) {
+	runDriver(b, "casestudy")
+	cs, err := dense802154.RunCaseStudy(dense802154.DefaultParams(), dense802154.DefaultCaseStudy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(cs.AvgPower.MicroWatts(), "µW(paper:211)")
+	b.ReportMetric(cs.MeanPrFail*100, "%fail(paper:16)")
+	b.ReportMetric(cs.MeanDelay.Seconds(), "delay-s(paper:1.45)")
+}
+
+// BenchmarkImprovements regenerates the §5 radio ablations (paper: -12%
+// for 2x faster transitions, -15% for the scalable receiver).
+func BenchmarkImprovements(b *testing.B) {
+	runDriver(b, "improvements")
+	res, err := dense802154.EvaluateImprovements(dense802154.DefaultParams(), dense802154.DefaultCaseStudy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Rows[0].Reduction*100, "%fast(paper:12)")
+	b.ReportMetric(res.Rows[1].Reduction*100, "%scalable(paper:15)")
+}
+
+// BenchmarkModelVsSim runs the validation experiment: analytical model vs
+// discrete-event simulation.
+func BenchmarkModelVsSim(b *testing.B) { runDriver(b, "validate") }
+
+// BenchmarkExtBLE quantifies the Battery Life Extension rejection (EXT1).
+func BenchmarkExtBLE(b *testing.B) { runDriver(b, "ble") }
+
+// BenchmarkExtGTS quantifies the GTS capacity argument (EXT2).
+func BenchmarkExtGTS(b *testing.B) { runDriver(b, "gts") }
+
+// BenchmarkAblationContentionModel compares Monte-Carlo vs closed-form
+// contention sources (ABL1).
+func BenchmarkAblationContentionModel(b *testing.B) { runDriver(b, "contmodel") }
+
+// BenchmarkAblationArrival compares arrival models (ABL2).
+func BenchmarkAblationArrival(b *testing.B) { runDriver(b, "arrival") }
+
+// BenchmarkExtBeaconOrder sweeps the beacon order (EXT3).
+func BenchmarkExtBeaconOrder(b *testing.B) { runDriver(b, "bosweep") }
+
+// BenchmarkExtLifetime computes supply lifetimes (EXT4).
+func BenchmarkExtLifetime(b *testing.B) { runDriver(b, "lifetime") }
+
+// BenchmarkExtDownlink costs the indirect exchange (EXT5).
+func BenchmarkExtDownlink(b *testing.B) { runDriver(b, "downlink") }
+
+// BenchmarkExtBands compares the three PHY bands (EXT6).
+func BenchmarkExtBands(b *testing.B) { runDriver(b, "bands") }
+
+// BenchmarkExtDutyCycle sweeps the superframe order (EXT7).
+func BenchmarkExtDutyCycle(b *testing.B) { runDriver(b, "sosweep") }
+
+// BenchmarkValPtrDistribution validates eqs. (7)-(8) (VAL2).
+func BenchmarkValPtrDistribution(b *testing.B) { runDriver(b, "ptr") }
+
+// ---- micro-benchmarks of the hot paths ----
+
+// BenchmarkModelEvaluate measures one closed-form model evaluation.
+func BenchmarkModelEvaluate(b *testing.B) {
+	p := dense802154.DefaultParams()
+	p.Contention = contention.Approx{} // keep it pure-analytical
+	p.TXLevelIndex = 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentionMC measures one Monte-Carlo superframe of the
+// case-study channel.
+func BenchmarkContentionMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		contention.Simulate(contention.Config{
+			TargetLoad: 0.433, Superframes: 1, Seed: int64(i),
+		})
+	}
+}
+
+// BenchmarkNetsimSuperframe measures one discrete-event superframe of the
+// 100-node channel.
+func BenchmarkNetsimSuperframe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		netsim.Run(netsim.Config{Nodes: 100, Superframes: 1, Seed: int64(i)})
+	}
+}
+
+// BenchmarkDespreadByte measures chip-level despreading of one octet.
+func BenchmarkDespreadByte(b *testing.B) {
+	chips := phy.SpreadBytes([]byte{0xA5})
+	for i := 0; i < b.N; i++ {
+		phy.DespreadBytes(chips)
+	}
+}

@@ -1,0 +1,54 @@
+// Command wsn-ber runs the chip-level Monte-Carlo bit-error test bench —
+// the synthetic equivalent of the paper's wired-attenuator measurement of
+// Fig. 4 — and re-derives the exponential regression of eq. (1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dense802154/internal/fit"
+	"dense802154/internal/phy"
+)
+
+func main() {
+	var (
+		from = flag.Float64("from", -96, "sweep start [dBm]")
+		to   = flag.Float64("to", -85, "sweep end [dBm]")
+		step = flag.Float64("step", 0.5, "sweep step [dB]")
+		errs = flag.Int("errors", 300, "target bit errors per point")
+		bits = flag.Int("bits", 4_000_000, "bit budget per point")
+		nf   = flag.Float64("nf", phy.DefaultNoiseFigureDB, "effective noise figure [dB]")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	bench := phy.NewBench(*seed)
+	bench.NoiseFigureDB = *nf
+	fmt.Printf("synthetic CC2420 BER bench (O-QPSK DSSS, hard-decision despreading, NF=%.1f dB)\n\n", *nf)
+	fmt.Printf("%10s %14s %14s %12s\n", "PRx [dBm]", "measured BER", "eq.(1) BER", "bits")
+
+	points := bench.Sweep(*from, *to, *step, *errs, *bits)
+	var xs, ys []float64
+	for _, p := range points {
+		fmt.Printf("%10.1f %14.3e %14.3e %12d\n", p.PRxDBm, p.BER, phy.Eq1.BitErrorRate(p.PRxDBm), p.Bits)
+		if p.BER > 0 {
+			xs = append(xs, p.PRxDBm)
+			ys = append(ys, p.BER)
+		}
+	}
+	if len(xs) < 3 {
+		fmt.Fprintln(os.Stderr, "too few error events for a regression; lower -from or raise -bits")
+		os.Exit(1)
+	}
+	e, err := fit.FitExponential(xs, ys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nexponential regression: BER = %.3g · exp(%.3f · PRx)   (R² in log space: %.3f)\n", e.A, e.B, e.R2)
+	fmt.Printf("paper's eq. (1):        BER = %.3g · exp(%.3f · PRx)\n", phy.Eq1.A, phy.Eq1.B)
+	fmt.Printf("sensitivity (1%% PER, 20 B): bench-fit %.1f dBm | eq.(1) %.1f dBm | datasheet ≈ -95 dBm\n",
+		phy.Sensitivity(phy.ExponentialBER{A: e.A, B: e.B}), phy.Sensitivity(phy.Eq1))
+}

@@ -1,0 +1,88 @@
+// Command wsn-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wsn-experiments                  # run everything at paper scale
+//	wsn-experiments -run fig6,fig7   # selected experiments
+//	wsn-experiments -quick           # reduced Monte-Carlo scale
+//	wsn-experiments -csv results/    # also write CSV files
+//	wsn-experiments -list            # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dense802154"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment names (default: all)")
+		quick  = flag.Bool("quick", false, "reduced Monte-Carlo scale")
+		seed   = flag.Int64("seed", 2005, "random seed")
+		csvDir = flag.String("csv", "", "directory to write CSV files into")
+		mark   = flag.Bool("markdown", false, "render tables as Markdown")
+		list   = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	all := dense802154.Experiments()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-14s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	selected := all
+	if *run != "" {
+		selected = selected[:0]
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, e := range all {
+				if e.Name == name {
+					selected = append(selected, e)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	opt := dense802154.ExperimentOpts{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s ===\n%s\n\n", e.Name, e.Title, e.Description)
+		tables, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			if *mark {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.String())
+			}
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", e.Name, i))
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command wsn-model queries the paper's analytical model for a single node
+// configuration and prints the full metric set, including the per-phase
+// energy breakdown and per-state time breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dense802154"
+	"dense802154/internal/mac"
+)
+
+func main() {
+	var (
+		payload = flag.Int("payload", 120, "data payload bytes")
+		load    = flag.Float64("load", 0.433, "network load λ")
+		loss    = flag.Float64("loss", 75, "path loss to the coordinator [dB]")
+		level   = flag.Int("level", dense802154.AutoTXLevel, "TX level index 0-7, -1 = link adaptation")
+		bo      = flag.Uint("bo", 6, "beacon order (SO = BO)")
+		nmax    = flag.Int("nmax", 5, "maximum transmissions per packet")
+	)
+	flag.Parse()
+
+	p := dense802154.DefaultParams()
+	p.PayloadBytes = *payload
+	p.Load = *load
+	p.PathLossDB = *loss
+	p.TXLevelIndex = *level
+	p.NMax = *nmax
+	sf, err := mac.NewSuperframe(uint8(*bo), uint8(*bo))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p.Superframe = sf
+
+	m, err := dense802154.Evaluate(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("configuration: %d B payload, λ=%.3f, %g dB path loss, BO=%d\n",
+		*payload, *load, *loss, *bo)
+	fmt.Printf("link:          TX level %d (%+g dBm), PRx %.1f dBm, BER %.3g\n",
+		m.TXLevelIndex, m.TXPowerDBm, m.PRxDBm, m.PrBit)
+	fmt.Printf("packet:        Tpacket %v, PrE %.4f, PrTF %.4f, E[tx] %.3f\n",
+		m.Tpacket, m.PrE, m.PrTF, m.ExpectedTx)
+	fmt.Printf("contention:    Tcont %v, NCCA %.2f, Prcf %.4f, Prcol %.4f\n",
+		m.Cont.Tcont, m.Cont.NCCA, m.Cont.PrCF, m.Cont.PrCol)
+	fmt.Printf("dwell:         Tidle %v, TTx %v, TRx %v\n", m.Tidle, m.TTx, m.TRx)
+	fmt.Printf("result:        Pavg %v | PrFail %.4f | delay %v | %.1f nJ/bit\n",
+		m.AvgPower, m.PrFail, m.Delay, m.EnergyPerBitJ*1e9)
+
+	sh := m.Breakdown.Share()
+	fmt.Printf("\nenergy by phase: beacon %.1f%% | contention %.1f%% | transmit %.1f%% | ack %.1f%% | ifs %.1f%%\n",
+		sh[0]*100, sh[1]*100, sh[2]*100, sh[3]*100, sh[4]*100)
+	fr := m.States.Fractions()
+	fmt.Printf("time by state:   shutdown %.4f%% | idle %.4f%% | rx %.4f%% | tx %.4f%%\n",
+		fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100)
+}

@@ -1,0 +1,29 @@
+// Package dense802154 reproduces Bougard, Catthoor, Daly, Chandrakasan and
+// Dehaene, "Energy Efficiency of the IEEE 802.15.4 Standard in Dense
+// Wireless Microsensor Networks: Modeling and Improvement Perspectives"
+// (DATE 2005) as a self-contained Go library.
+//
+// The package is a facade over the implementation packages:
+//
+//   - the analytical energy/reliability model of the paper's §4
+//     (Params/Evaluate), including the radio activation policy, link
+//     adaptation (Thresholds, OptimalTXLevel), packet-size optimization
+//     (EnergyVsPayload) and the 1600-node case study (RunCaseStudy);
+//   - the measured CC2420 characterization of Fig. 3 (CC2420) and the
+//     derived radios of the §5 improvement perspectives;
+//   - the Monte-Carlo slotted CSMA/CA characterization behind Fig. 6
+//     (ContentionConfig/SimulateContention);
+//   - a cycle-accurate discrete-event network simulator used to validate
+//     the model (SimConfig/Simulate);
+//   - the experiment registry regenerating every table and figure
+//     (Experiments, RunExperiment).
+//
+// # Quick start
+//
+//	p := dense802154.DefaultParams()
+//	m, err := dense802154.Evaluate(p)
+//	// m.AvgPower, m.PrFail, m.Delay, m.Breakdown ...
+//
+// See the examples directory for runnable scenarios and EXPERIMENTS.md for
+// the paper-versus-reproduction comparison of every figure.
+package dense802154

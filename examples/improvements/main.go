@@ -1,0 +1,34 @@
+// Improvement perspectives: quantify the paper's §5 proposals — halving
+// the radio state-transition times and adding a scalable receiver with a
+// low-power listen mode — on the dense case-study scenario.
+//
+//	go run ./examples/improvements
+package main
+
+import (
+	"fmt"
+
+	"dense802154"
+)
+
+func main() {
+	p := dense802154.DefaultParams()
+	cfg := dense802154.DefaultCaseStudy()
+
+	res, err := dense802154.EvaluateImprovements(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("Baseline CC2420: %v average power (paper: 211 µW)\n\n", res.Baseline)
+	fmt.Printf("%-36s %12s %10s %s\n", "radio architecture", "avg power", "reduction", "paper")
+	paper := []string{"-12%", "-15% additional", ""}
+	for i, r := range res.Rows {
+		fmt.Printf("%-36s %12v %9.1f%% %s\n", r.Name, r.AvgPower, r.Reduction*100, paper[i])
+	}
+
+	fmt.Println("\nThe contention share is dominated by receiver start-up energy for")
+	fmt.Println("clear channel assessment; the ack share by the receiver idling in the")
+	fmt.Println("acknowledgment window. Both respond to the proposed radio changes,")
+	fmt.Println("moving the node toward the 100 µW energy-scavenging budget.")
+}

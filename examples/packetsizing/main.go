@@ -1,0 +1,52 @@
+// Packet sizing: the Fig. 8 study. Small packets waste energy on fixed
+// PHY/MAC overhead; large packets risk corruption and channel access
+// failure — yet energy per bit falls monotonically up to the 123-byte
+// maximum the standard allows.
+//
+//	go run ./examples/packetsizing
+package main
+
+import (
+	"fmt"
+
+	"dense802154"
+)
+
+func main() {
+	sizes := []int{5, 10, 20, 40, 60, 80, 100, 120, 123}
+	loads := []float64{0.10, 0.25, 0.42, 0.60}
+
+	fmt.Println("Energy per data bit [nJ] vs payload size (path loss 75 dB):")
+	fmt.Printf("%10s", "payload")
+	for _, l := range loads {
+		fmt.Printf("   λ=%.2f", l)
+	}
+	fmt.Println()
+
+	curves := make(map[float64][]float64)
+	for _, l := range loads {
+		p := dense802154.DefaultParams()
+		p.Load = l
+		s, err := dense802154.EnergyVsPayload(p, sizes)
+		if err != nil {
+			panic(err)
+		}
+		curves[l] = s.Y
+	}
+	for i, L := range sizes {
+		fmt.Printf("%8d B", L)
+		for _, l := range loads {
+			fmt.Printf("   %6.0f", curves[l][i]*1e9)
+		}
+		fmt.Println()
+	}
+
+	p := dense802154.DefaultParams()
+	opt, e, err := dense802154.OptimalPayload(p, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nOptimal payload: %d bytes at %.0f nJ/bit — the maximum the standard\n", opt, e*1e9)
+	fmt.Println("allows; the paper: 'reaching the optimum requires a larger packet size.'")
+	fmt.Println("The case study therefore buffers 120 bytes (960 ms of sensing) per packet.")
+}

@@ -1,0 +1,112 @@
+package battery
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"dense802154/internal/units"
+)
+
+func TestLifetimeBasics(t *testing.T) {
+	// 2430 J at 211 µW with 1%/yr self-discharge: ≈ 133 days.
+	s := CoinCellCR2032()
+	d, ok := s.Lifetime(211 * units.MicroWatt)
+	if !ok {
+		t.Fatal("no lifetime")
+	}
+	days := d.Hours() / 24
+	if days < 100 || days > 160 {
+		t.Fatalf("CR2032 at 211 µW lives %v days, want ≈133", days)
+	}
+}
+
+func TestLifetimeScalesInversely(t *testing.T) {
+	s := AACell()
+	d1, _ := s.Lifetime(200 * units.MicroWatt)
+	d2, _ := s.Lifetime(100 * units.MicroWatt)
+	ratio := float64(d2) / float64(d1)
+	// Self-discharge bends this slightly below 2.
+	if ratio < 1.7 || ratio > 2.1 {
+		t.Fatalf("halving load scaled lifetime by %v, want ≈2", ratio)
+	}
+}
+
+func TestHarvesterSustainability(t *testing.T) {
+	h := VibrationHarvester()
+	if !h.Sustainable(90 * units.MicroWatt) {
+		t.Error("90 µW must be sustainable on the 100 µW harvester")
+	}
+	if h.Sustainable(211 * units.MicroWatt) {
+		t.Error("211 µW must not be sustainable — the paper's gap")
+	}
+	if h.Margin(211*units.MicroWatt) >= 0 {
+		t.Error("margin must be negative at 211 µW")
+	}
+	d, ok := h.Lifetime(90 * units.MicroWatt)
+	if !ok || d != time.Duration(math.MaxInt64) {
+		t.Fatalf("sustainable load lifetime = (%v, %v), want indefinite", d, ok)
+	}
+	// Harvester with no battery under overload: instant death.
+	if d, _ := h.Lifetime(211 * units.MicroWatt); d != 0 {
+		t.Fatalf("battery-less overload lifetime = %v, want 0", d)
+	}
+}
+
+func TestHarvestedBattery(t *testing.T) {
+	// Battery + harvester: only the net load drains the cell.
+	s := CoinCellCR2032().WithHarvest(100 * units.MicroWatt)
+	dPlain, _ := CoinCellCR2032().Lifetime(211 * units.MicroWatt)
+	dBoost, _ := s.Lifetime(211 * units.MicroWatt)
+	if dBoost <= dPlain {
+		t.Fatal("harvester must extend battery life")
+	}
+	// Net 111 µW vs 211 µW: ≈ 1.9x.
+	ratio := float64(dBoost) / float64(dPlain)
+	if ratio < 1.6 || ratio > 2.2 {
+		t.Fatalf("harvest boost ratio %v", ratio)
+	}
+}
+
+func TestLifetimeEdgeCases(t *testing.T) {
+	s := CoinCellCR2032()
+	if _, ok := s.Lifetime(0); ok {
+		t.Error("zero load must report !ok")
+	}
+	if _, ok := s.Lifetime(-1); ok {
+		t.Error("negative load must report !ok")
+	}
+	// Tiny load beyond the 1e12 s guard: indefinite.
+	d, ok := Supply{CapacityJ: 1e9}.Lifetime(1 * units.NanoWatt)
+	if !ok || d != time.Duration(math.MaxInt64) {
+		t.Errorf("immense lifetime must clamp to indefinite, got %v", d)
+	}
+}
+
+func TestLifetimeString(t *testing.T) {
+	if got := LifetimeString(time.Duration(math.MaxInt64)); got != "indefinite" {
+		t.Errorf("indefinite: %q", got)
+	}
+	if got := LifetimeString(400 * 24 * time.Hour); !strings.Contains(got, "years") {
+		t.Errorf("years: %q", got)
+	}
+	if got := LifetimeString(48 * time.Hour); !strings.Contains(got, "days") {
+		t.Errorf("days: %q", got)
+	}
+	if got := LifetimeString(30 * time.Minute); !strings.Contains(got, "m") {
+		t.Errorf("minutes: %q", got)
+	}
+}
+
+func TestSupplyPresets(t *testing.T) {
+	if CoinCellCR2032().CapacityJ < 2000 || CoinCellCR2032().CapacityJ > 3000 {
+		t.Error("CR2032 capacity")
+	}
+	if AACell().CapacityJ < 12000 || AACell().CapacityJ > 15000 {
+		t.Error("AA capacity")
+	}
+	if VibrationHarvester().Harvest != 100*units.MicroWatt {
+		t.Error("harvester budget")
+	}
+}

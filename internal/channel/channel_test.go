@@ -1,0 +1,184 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dense802154/internal/phy"
+)
+
+func TestFixedLoss(t *testing.T) {
+	if Fixed(88).LossDB() != 88 {
+		t.Fatal("fixed loss")
+	}
+}
+
+func TestReceivedPower(t *testing.T) {
+	// Paper eq. (2): P_Rx = P_Tx - A. 0 dBm through 88 dB = -88 dBm.
+	if got := ReceivedPowerDBm(0, 88); got != -88 {
+		t.Fatalf("PRx = %v", got)
+	}
+	if got := ReceivedPowerDBm(-15, 55); got != -70 {
+		t.Fatalf("PRx = %v", got)
+	}
+}
+
+func TestLogDistance(t *testing.T) {
+	l := LogDistance{RefLossDB: 40, RefDist: 1, Exponent: 2, Dist: 10}
+	if got := l.LossDB(); math.Abs(got-60) > 1e-12 {
+		t.Fatalf("loss at 10m = %v, want 60", got)
+	}
+	l.Dist = 100
+	if got := l.LossDB(); math.Abs(got-80) > 1e-12 {
+		t.Fatalf("loss at 100m = %v, want 80", got)
+	}
+	// Below the reference distance the loss clamps to the reference loss.
+	l.Dist = 0.1
+	if got := l.LossDB(); got != 40 {
+		t.Fatalf("close-in loss = %v, want 40", got)
+	}
+}
+
+func TestFreeSpaceRefLoss(t *testing.T) {
+	// At 2450 MHz the 1 m free-space loss is ≈ 40.2 dB.
+	got := FreeSpaceRefLoss(2450)
+	if math.Abs(got-40.23) > 0.1 {
+		t.Fatalf("free space 1m loss = %v, want ≈40.2", got)
+	}
+}
+
+func TestLinkPER(t *testing.T) {
+	link := Link{Loss: Fixed(88), BER: phy.Eq1}
+	// At 0 dBm through 88 dB: PRx=-88, BER from eq.(1), PER over 129
+	// bytes should be a few percent (the paper's "efficient up to 88 dB").
+	per := link.PacketErrorRate(0, 129)
+	if per < 0.001 || per > 0.2 {
+		t.Fatalf("PER at edge of range = %v, want a few percent", per)
+	}
+	// At shorter range the link is nearly clean even at the weakest level:
+	// PRx = -80 dBm, BER ≈ 2e-7, PER ≈ 2e-4 — low enough that the paper's
+	// link adaptation picks -25 dBm below 55 dB loss.
+	clean := Link{Loss: Fixed(55), BER: phy.Eq1}
+	if p := clean.PacketErrorRate(-25, 129); p > 1e-3 {
+		t.Fatalf("PER at 55 dB with -25 dBm = %v, want < 1e-3", p)
+	}
+	// Monotone in TX power.
+	if link.PacketErrorRate(-5, 129) <= per {
+		t.Fatal("PER must increase when transmit power drops")
+	}
+}
+
+func TestUniformLossBounds(t *testing.T) {
+	u := UniformLoss{MinDB: 55, MaxDB: 95}
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := u.Sample(rng)
+		if v < 55 || v > 95 {
+			t.Fatalf("sample %v out of bounds", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-75) > 0.5 {
+		t.Fatalf("mean = %v, want ≈75", mean)
+	}
+	if u.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestUniformDiskStatistics(t *testing.T) {
+	// 1600 nodes over a disk: with exponent 3.5 and 40 dB reference loss,
+	// a 40 m radius spans losses from ~40 dB up to ~96 dB.
+	d := UniformDisk{RadiusM: 40, RefLossDB: 40, Exponent: 3.5}
+	rng := rand.New(rand.NewSource(2))
+	losses := SamplePopulation(d, 1600, rng)
+	if len(losses) != 1600 {
+		t.Fatal("population size")
+	}
+	maxLoss := LogDistance{RefLossDB: 40, RefDist: 1, Exponent: 3.5, Dist: 40}.LossDB()
+	for _, v := range losses {
+		if v < 40-1e-9 || v > maxLoss+1e-9 {
+			t.Fatalf("loss %v outside [40, %v]", v, maxLoss)
+		}
+	}
+	// Uniform-area density concentrates mass at the rim: the median
+	// distance is R/√2, median loss ≈ RefLoss+10·n·log10(R/√2).
+	med := LogDistance{RefLossDB: 40, RefDist: 1, Exponent: 3.5, Dist: 40 / math.Sqrt2}.LossDB()
+	var below int
+	for _, v := range losses {
+		if v < med {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(losses))
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("median check: %v of mass below computed median", frac)
+	}
+}
+
+func TestUniformDiskMinDistance(t *testing.T) {
+	d := UniformDisk{RadiusM: 10, RefLossDB: 40, Exponent: 2, MinDistM: 5}
+	rng := rand.New(rand.NewSource(3))
+	minLoss := LogDistance{RefLossDB: 40, RefDist: 1, Exponent: 2, Dist: 5}.LossDB()
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(rng); v < minLoss-1e-9 {
+			t.Fatalf("loss %v below close-in cutoff %v", v, minLoss)
+		}
+	}
+}
+
+func TestShadowedDeployment(t *testing.T) {
+	base := UniformLoss{MinDB: 70, MaxDB: 70} // degenerate: constant 70
+	s := Shadowed{Base: base, SigmaDB: 4}
+	rng := rand.New(rand.NewSource(4))
+	var acc, acc2 float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Sample(rng)
+		acc += v
+		acc2 += v * v
+	}
+	mean := acc / n
+	std := math.Sqrt(acc2/n - mean*mean)
+	if math.Abs(mean-70) > 0.2 {
+		t.Fatalf("shadowed mean = %v, want 70", mean)
+	}
+	if math.Abs(std-4) > 0.2 {
+		t.Fatalf("shadowed sigma = %v, want 4", std)
+	}
+}
+
+func TestLossGrid(t *testing.T) {
+	g := LossGrid(55, 95, 5)
+	want := []float64{55, 65, 75, 85, 95}
+	if len(g) != 5 {
+		t.Fatalf("grid size %d", len(g))
+	}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("grid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+	if g := LossGrid(55, 95, 1); len(g) != 1 || g[0] != 55 {
+		t.Fatal("degenerate grid")
+	}
+}
+
+// Property: received power is antitone in loss and monotone in TX power.
+func TestPropertyLinkMonotonicity(t *testing.T) {
+	f := func(a, b uint8) bool {
+		loss1 := 40 + float64(a%60)
+		loss2 := loss1 + 1 + float64(b%20)
+		l1 := Link{Loss: Fixed(loss1), BER: phy.Eq1}
+		l2 := Link{Loss: Fixed(loss2), BER: phy.Eq1}
+		return l2.PacketErrorRate(0, 129) >= l1.PacketErrorRate(0, 129)-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

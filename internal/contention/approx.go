@@ -1,0 +1,100 @@
+package contention
+
+import (
+	"math"
+	"time"
+
+	"dense802154/internal/frame"
+	"dense802154/internal/mac"
+	"dense802154/internal/phy"
+)
+
+// Approx is a closed-form approximation of the slotted CSMA/CA behaviour,
+// provided as the analytical baseline against which the Monte-Carlo
+// characterization is compared (DESIGN.md ablation #1).
+//
+// Assumptions (all deliberately simple):
+//   - a CCA finds the channel busy with probability equal to the channel
+//     occupancy p = λ (Poisson traffic, no backoff correlation);
+//   - an access attempt (up to CW consecutive CCAs) succeeds with
+//     probability (1-p)^CW, and attempts are independent;
+//   - grants arrive as a Poisson stream, so a granted transmission
+//     collides when at least one other grant lands on its boundary.
+//
+// The Monte-Carlo results deviate from this model exactly where the
+// paper's mechanism matters: backoff synchronization after busy periods
+// raises both the collision rate and the CCA count at high load.
+type Approx struct {
+	// CSMA are the algorithm parameters (defaults to mac.PaperParams
+	// when zero).
+	CSMA mac.CSMAParams
+}
+
+// Contention implements Source.
+func (a Approx) Contention(payloadBytes int, load float64) Stats {
+	p := a.CSMA
+	if p == (mac.CSMAParams{}) {
+		p = mac.PaperParams()
+	}
+	occ := math.Min(math.Max(load, 0), 0.999)
+	cw := float64(p.CW)
+
+	// Per-attempt grant and busy probabilities.
+	grant := math.Pow(1-occ, cw)
+	busy := 1 - grant
+
+	// Attempts are capped at MaxBackoffs+1.
+	maxAttempts := p.MaxBackoffs + 1
+	// Pr_cf: every attempt finds the channel busy.
+	prcf := math.Pow(busy, float64(maxAttempts))
+
+	// Expected number of attempts (truncated geometric).
+	var eAttempts float64
+	for i := 0; i < maxAttempts; i++ {
+		eAttempts += math.Pow(busy, float64(i))
+	}
+
+	// Expected CCAs per attempt: the attempt stops at the first busy CCA.
+	// E = sum_{k=1..CW} P(reach CCA k) = sum_{k=0..CW-1} (1-occ)^k.
+	var ccaPerAttempt float64
+	for k := 0; k < p.CW; k++ {
+		ccaPerAttempt += math.Pow(1-occ, float64(k))
+	}
+	ncca := eAttempts * ccaPerAttempt
+
+	// Expected backoff delay: attempt i draws uniform [0, 2^BE_i - 1].
+	be := p.MinBE
+	var delaySlots float64
+	reach := 1.0
+	for i := 0; i < maxAttempts; i++ {
+		cappedBE := be
+		if p.BatteryLifeExt && cappedBE > 2 {
+			cappedBE = 2
+		}
+		window := float64(int(1)<<uint(cappedBE)) - 1
+		delaySlots += reach * window / 2
+		reach *= busy
+		if be < p.MaxBE {
+			be++
+		}
+	}
+	// CCA slots themselves.
+	delaySlots += ncca
+
+	// Residual collision probability: grants form a Poisson stream of
+	// rate λ/D per slot (D = packet duration in slots); a grant collides
+	// when another grant shares its boundary.
+	d := float64(frame.PaperPacketDuration(payloadBytes)) / float64(phy.UnitBackoffPeriod)
+	g := occ / d
+	prcol := 1 - math.Exp(-g)
+
+	return Stats{
+		Tcont: time.Duration(delaySlots * float64(phy.UnitBackoffPeriod)),
+		NCCA:  ncca,
+		PrCF:  prcf,
+		PrCol: prcol,
+	}
+}
+
+// String implements fmt.Stringer.
+func (a Approx) String() string { return "closed-form" }

@@ -1,0 +1,358 @@
+// Package contention characterizes the slotted CSMA/CA algorithm by
+// Monte-Carlo simulation, reproducing the methodology behind the paper's
+// Fig. 6: for a given network load λ (aggregate on-air time relative to the
+// beacon interval) and packet size, it measures
+//
+//   - T̄cont: the mean duration of the contention procedure,
+//   - N̄CCA:  the mean number of clear channel assessments per procedure,
+//   - Pr_cf: the channel access failure probability,
+//   - Pr_col: the residual collision probability of granted transmissions.
+//
+// The simulator works on the backoff-slot grid of one channel: packets
+// arrive (by default) uniformly over the inter-beacon period, every node is
+// in range of every other (star topology, no hidden terminals), a CCA at a
+// slot boundary senses any transmission overlapping that boundary
+// (including one starting at it, since its energy fills the CCA window),
+// and collisions therefore occur exactly when several granted nodes start
+// on the same boundary.
+package contention
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dense802154/internal/frame"
+	"dense802154/internal/mac"
+	"dense802154/internal/phy"
+	"dense802154/internal/stats"
+)
+
+// ArrivalModel selects when packets become ready inside a superframe.
+type ArrivalModel int
+
+// Arrival models.
+const (
+	// ArrivalUniform spreads packet arrivals uniformly over the
+	// inter-beacon period — the statistical multiplexing of sparse sensor
+	// data the paper's §2 describes. This is the default.
+	ArrivalUniform ArrivalModel = iota
+	// ArrivalAtBeacon makes every packet contend right after the beacon,
+	// the worst-case burst used as an ablation.
+	ArrivalAtBeacon
+)
+
+// String implements fmt.Stringer.
+func (a ArrivalModel) String() string {
+	switch a {
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalAtBeacon:
+		return "at-beacon"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(a))
+	}
+}
+
+// Config parameterizes one Monte-Carlo run.
+type Config struct {
+	// PayloadBytes is the data payload L; the on-air packet is
+	// Lo + L bytes (paper accounting).
+	PayloadBytes int
+	// Superframe fixes the slot grid (the paper uses BO = SO = 6).
+	Superframe mac.Superframe
+	// CSMA are the algorithm parameters (defaults to mac.PaperParams).
+	CSMA mac.CSMAParams
+	// Arrival selects the arrival model.
+	Arrival ArrivalModel
+	// TargetLoad is the offered load λ; the simulator offers
+	// λ·Tib/Tpacket packets per superframe.
+	TargetLoad float64
+	// Superframes is the number of beacon intervals to simulate.
+	Superframes int
+	// BeaconBytes is the beacon's on-air size; the channel is busy for
+	// that long after each beacon boundary. Defaults to a minimal beacon.
+	BeaconBytes int
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.CSMA == (mac.CSMAParams{}) {
+		c.CSMA = mac.PaperParams()
+	}
+	if c.Superframe == (mac.Superframe{}) {
+		sf, err := mac.NewSuperframe(6, 6)
+		if err != nil {
+			panic(err)
+		}
+		c.Superframe = sf
+	}
+	if c.Superframes == 0 {
+		c.Superframes = 50
+	}
+	if c.BeaconBytes == 0 {
+		c.BeaconBytes = frame.BeaconOnAirBytes(0, 0, 0, 0)
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 120
+	}
+	return c
+}
+
+// PacketDuration reports the on-air time of one packet.
+func (c Config) PacketDuration() time.Duration {
+	return frame.PaperPacketDuration(c.PayloadBytes)
+}
+
+// PacketsPerSuperframe reports the offered packets per beacon interval that
+// realize TargetLoad.
+func (c Config) PacketsPerSuperframe() float64 {
+	cc := c.withDefaults()
+	return cc.TargetLoad * float64(cc.Superframe.BeaconInterval()) / float64(cc.PacketDuration())
+}
+
+// Result is the aggregate outcome of a run.
+type Result struct {
+	Config       Config
+	OfferedLoad  float64 // realized offered load
+	Transactions int
+	Granted      int
+	Failed       int
+	Collided     int
+
+	MeanContention time.Duration // T̄cont
+	ContentionCI95 time.Duration
+	MeanCCAs       float64 // N̄CCA
+	CCAsCI95       float64
+	PrCF           float64 // channel access failure probability
+	PrCFCI95       float64
+	PrCol          float64 // collision probability among granted
+	PrColCI95      float64
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("λ=%.3f L=%dB: Tcont=%v NCCA=%.2f Prcf=%.3f Prcol=%.3f (n=%d)",
+		r.OfferedLoad, r.Config.PayloadBytes, r.MeanContention.Round(time.Microsecond),
+		r.MeanCCAs, r.PrCF, r.PrCol, r.Transactions)
+}
+
+// event kinds, ordered so that within a slot transmission starts are
+// processed before CCAs (a transmission beginning at a boundary is detected
+// by a CCA at that boundary).
+const (
+	evTxStart = iota
+	evCCA
+)
+
+type event struct {
+	slot int64
+	kind int
+	seq  int
+	txn  *txn
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].slot != h[j].slot {
+		return h[i].slot < h[j].slot
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// txn is one packet's channel-access attempt.
+type txn struct {
+	t           *mac.Transaction
+	arrivalSlot int64
+	endSlot     int64
+	granted     bool
+	failed      bool
+	collided    bool
+}
+
+// Simulate runs the Monte-Carlo characterization.
+func Simulate(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if cfg.TargetLoad < 0 {
+		panic("contention: negative target load")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sfSlots := int64(cfg.Superframe.BeaconInterval() / phy.UnitBackoffPeriod)
+	packetSlots := float64(cfg.PacketDuration()) / float64(phy.UnitBackoffPeriod)
+	beaconSlots := float64(phy.TxDuration(cfg.BeaconBytes)) / float64(phy.UnitBackoffPeriod)
+	perSF := cfg.PacketsPerSuperframe()
+
+	var events eventHeap
+	seq := 0
+	push := func(slot int64, kind int, t *txn) {
+		events = append(events, event{slot: slot, kind: kind, seq: seq, txn: t})
+		seq++
+		heap.Fix(&events, len(events)-1)
+	}
+	scheduleCCA := func(t *txn, at int64) { push(at, evCCA, t) }
+
+	var all []*txn
+	spawn := func(arrival int64) {
+		t := &txn{t: mac.NewTransaction(cfg.CSMA, rng), arrivalSlot: arrival}
+		all = append(all, t)
+		// The first CCA occurs after the initial random backoff.
+		first := arrival
+		for !t.t.CCADue() {
+			t.t.AdvanceSlot()
+			first++
+		}
+		scheduleCCA(t, first)
+	}
+
+	// Generate arrivals for every superframe up front.
+	for k := 0; k < cfg.Superframes; k++ {
+		base := int64(k) * sfSlots
+		n := int(perSF)
+		if rng.Float64() < perSF-float64(n) {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			switch cfg.Arrival {
+			case ArrivalAtBeacon:
+				spawn(base)
+			default:
+				spawn(base + rng.Int63n(sfSlots))
+			}
+		}
+	}
+	heap.Init(&events)
+
+	// Channel occupancy: transmissions never overlap except when they
+	// start on the same boundary, so one (start, until) pair suffices.
+	busyStart := int64(-1)
+	busyUntil := float64(math.Inf(-1))
+	var startersThisSlot []*txn
+	lastStartSlot := int64(-1)
+
+	channelBusy := func(slot int64) bool {
+		if float64(slot) < busyUntil && slot >= busyStart {
+			return true
+		}
+		phase := slot % sfSlots
+		return float64(phase) < beaconSlots
+	}
+	flushStarters := func() {
+		if len(startersThisSlot) > 1 {
+			for _, t := range startersThisSlot {
+				t.collided = true
+			}
+		}
+		startersThisSlot = startersThisSlot[:0]
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		if ev.slot != lastStartSlot {
+			flushStarters()
+		}
+		switch ev.kind {
+		case evTxStart:
+			t := ev.txn
+			// Defer if the packet cannot finish before the next beacon:
+			// resume with fresh CCAs right after that beacon.
+			phase := ev.slot % sfSlots
+			if float64(phase)+packetSlots > float64(sfSlots) {
+				resume := (ev.slot/sfSlots+1)*sfSlots + int64(math.Ceil(beaconSlots))
+				scheduleCCA(t, resume)
+				// Re-arm the contention window: the transaction object
+				// cannot be rewound, so count the grant only when the
+				// transmission really starts.
+				t.granted = false
+				continue
+			}
+			t.granted = true
+			t.endSlot = ev.slot + int64(math.Ceil(packetSlots))
+			busyStart = ev.slot
+			if until := float64(ev.slot) + packetSlots; until > busyUntil {
+				busyUntil = until
+			}
+			lastStartSlot = ev.slot
+			startersThisSlot = append(startersThisSlot, t)
+		case evCCA:
+			t := ev.txn
+			if t.t.Done() {
+				// A deferred transaction resuming after a beacon: grant
+				// immediately at this boundary (its CCAs already
+				// succeeded); re-check fit via the evTxStart path.
+				push(ev.slot, evTxStart, t)
+				continue
+			}
+			busy := channelBusy(ev.slot)
+			switch t.t.CCAResult(busy) {
+			case mac.OutcomeNextCCA:
+				scheduleCCA(t, ev.slot+1)
+			case mac.OutcomeTransmit:
+				push(ev.slot+1, evTxStart, t)
+			case mac.OutcomeBackoff:
+				next := ev.slot + 1
+				for !t.t.CCADue() {
+					t.t.AdvanceSlot()
+					next++
+				}
+				scheduleCCA(t, next)
+			case mac.OutcomeFailure:
+				t.failed = true
+				t.endSlot = ev.slot
+			}
+		}
+	}
+	flushStarters()
+
+	// Aggregate.
+	var cont stats.Accumulator
+	var ccas stats.Accumulator
+	var cf, col stats.Proportion
+	granted, failed, collided := 0, 0, 0
+	for _, t := range all {
+		ccas.Add(float64(t.t.CCAs()))
+		cf.Observe(t.failed)
+		if t.failed {
+			failed++
+			cont.Add(float64(t.endSlot-t.arrivalSlot) * phy.UnitBackoffPeriod.Seconds())
+		}
+		if t.granted {
+			granted++
+			col.Observe(t.collided)
+			if t.collided {
+				collided++
+			}
+			txStart := float64(t.endSlot) - math.Ceil(packetSlots)
+			cont.Add((txStart - float64(t.arrivalSlot)) * phy.UnitBackoffPeriod.Seconds())
+		}
+	}
+	offered := float64(len(all)) * packetSlots / float64(int64(cfg.Superframes)*sfSlots)
+	return Result{
+		Config:         cfg,
+		OfferedLoad:    offered,
+		Transactions:   len(all),
+		Granted:        granted,
+		Failed:         failed,
+		Collided:       collided,
+		MeanContention: time.Duration(cont.Mean() * float64(time.Second)),
+		ContentionCI95: time.Duration(cont.CI95() * float64(time.Second)),
+		MeanCCAs:       ccas.Mean(),
+		CCAsCI95:       ccas.CI95(),
+		PrCF:           cf.Value(),
+		PrCFCI95:       cf.CI95(),
+		PrCol:          col.Value(),
+		PrColCI95:      col.CI95(),
+	}
+}

@@ -1,0 +1,153 @@
+package contention
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dense802154/internal/fit"
+)
+
+// Stats is the tuple of contention-side quantities the analytical energy
+// model consumes (the paper's T̄cont, N̄CCA, Pr_cf, Pr_col).
+type Stats struct {
+	Tcont time.Duration
+	NCCA  float64
+	PrCF  float64
+	PrCol float64
+}
+
+// Source yields contention statistics for a payload size and offered load.
+// The analytical model (internal/core) is parameterized over this
+// interface; the paper characterizes the relation empirically by
+// Monte-Carlo simulation (MCSource), and Approx provides a closed-form
+// baseline for comparison.
+type Source interface {
+	Contention(payloadBytes int, load float64) Stats
+}
+
+// Curve is the Monte-Carlo characterization of one packet size across a
+// load sweep — one set of the four Fig. 6 series.
+type Curve struct {
+	PayloadBytes int
+	Loads        []float64
+	TcontSec     []float64
+	NCCA         []float64
+	PrCF         []float64
+	PrCol        []float64
+	Results      []Result
+}
+
+// BuildCurve simulates the contention procedure for the given payload at
+// each target load. base supplies the superframe, CSMA parameters, arrival
+// model, run length and seed; its PayloadBytes/TargetLoad are overridden.
+func BuildCurve(payload int, loads []float64, base Config) Curve {
+	c := Curve{PayloadBytes: payload}
+	for i, l := range loads {
+		cfg := base
+		cfg.PayloadBytes = payload
+		cfg.TargetLoad = l
+		cfg.Seed = base.Seed + int64(i)*7919
+		r := Simulate(cfg)
+		c.Loads = append(c.Loads, l)
+		c.TcontSec = append(c.TcontSec, r.MeanContention.Seconds())
+		c.NCCA = append(c.NCCA, r.MeanCCAs)
+		c.PrCF = append(c.PrCF, r.PrCF)
+		c.PrCol = append(c.PrCol, r.PrCol)
+		c.Results = append(c.Results, r)
+	}
+	return c
+}
+
+// At interpolates the curve at the given load (clamping outside the grid).
+func (c *Curve) At(load float64) Stats {
+	return Stats{
+		Tcont: time.Duration(fit.Interp(c.Loads, c.TcontSec, load) * float64(time.Second)),
+		NCCA:  fit.Interp(c.Loads, c.NCCA, load),
+		PrCF:  fit.Interp(c.Loads, c.PrCF, load),
+		PrCol: fit.Interp(c.Loads, c.PrCol, load),
+	}
+}
+
+// MCSource is a Monte-Carlo-backed Source with memoization. It simulates
+// on demand at the requested (payload, load) point; results are cached on a
+// quantized key so sweeps of the analytical model do not re-simulate.
+type MCSource struct {
+	// Base supplies superframe, CSMA parameters, arrival model, run
+	// length and seed.
+	Base Config
+
+	mu    sync.Mutex
+	cache map[[2]int]Stats
+}
+
+// NewMCSource builds a memoized Monte-Carlo source.
+func NewMCSource(base Config) *MCSource {
+	return &MCSource{Base: base, cache: make(map[[2]int]Stats)}
+}
+
+// Contention implements Source.
+func (s *MCSource) Contention(payloadBytes int, load float64) Stats {
+	key := [2]int{payloadBytes, int(math.Round(load * 1000))}
+	s.mu.Lock()
+	if st, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return st
+	}
+	s.mu.Unlock()
+
+	cfg := s.Base
+	cfg.PayloadBytes = payloadBytes
+	cfg.TargetLoad = load
+	r := Simulate(cfg)
+	st := Stats{Tcont: r.MeanContention, NCCA: r.MeanCCAs, PrCF: r.PrCF, PrCol: r.PrCol}
+
+	s.mu.Lock()
+	s.cache[key] = st
+	s.mu.Unlock()
+	return st
+}
+
+// String implements fmt.Stringer.
+func (s *MCSource) String() string { return "monte-carlo" }
+
+// CurveSource serves lookups by interpolating pre-built curves, one per
+// payload size; payloads between curves use the nearest curve.
+type CurveSource struct {
+	Curves []Curve // must be sorted by PayloadBytes
+}
+
+// NewCurveSource sorts and wraps pre-built curves.
+func NewCurveSource(curves ...Curve) *CurveSource {
+	cs := &CurveSource{Curves: append([]Curve(nil), curves...)}
+	sort.Slice(cs.Curves, func(i, j int) bool {
+		return cs.Curves[i].PayloadBytes < cs.Curves[j].PayloadBytes
+	})
+	return cs
+}
+
+// Contention implements Source.
+func (s *CurveSource) Contention(payloadBytes int, load float64) Stats {
+	if len(s.Curves) == 0 {
+		panic("contention: empty CurveSource")
+	}
+	best := 0
+	bestDist := math.Abs(float64(s.Curves[0].PayloadBytes - payloadBytes))
+	for i := 1; i < len(s.Curves); i++ {
+		if d := math.Abs(float64(s.Curves[i].PayloadBytes - payloadBytes)); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return s.Curves[best].At(load)
+}
+
+// String implements fmt.Stringer.
+func (s *CurveSource) String() string {
+	sizes := make([]string, len(s.Curves))
+	for i, c := range s.Curves {
+		sizes[i] = fmt.Sprintf("%dB", c.PayloadBytes)
+	}
+	return fmt.Sprintf("curves(%v)", sizes)
+}

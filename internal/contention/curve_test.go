@@ -1,0 +1,135 @@
+package contention
+
+import (
+	"testing"
+	"time"
+
+	"dense802154/internal/mac"
+)
+
+func TestBuildCurveAndInterp(t *testing.T) {
+	base := Config{Superframes: 15, Seed: 7}
+	curve := BuildCurve(120, []float64{0.1, 0.3, 0.5}, base)
+	if len(curve.Loads) != 3 || len(curve.Results) != 3 {
+		t.Fatalf("curve size: %d", len(curve.Loads))
+	}
+	// Interpolation between grid points must be bracketed.
+	mid := curve.At(0.2)
+	if mid.PrCF < curve.PrCF[0]-1e-9 || mid.PrCF > curve.PrCF[1]+1e-9 {
+		t.Errorf("interpolated PrCF %v outside bracket [%v,%v]", mid.PrCF, curve.PrCF[0], curve.PrCF[1])
+	}
+	// Clamping outside the grid.
+	lo := curve.At(0.01)
+	if lo.NCCA != curve.NCCA[0] {
+		t.Error("clamp low")
+	}
+	hi := curve.At(0.99)
+	if hi.NCCA != curve.NCCA[2] {
+		t.Error("clamp high")
+	}
+}
+
+func TestMCSourceCaching(t *testing.T) {
+	src := NewMCSource(Config{Superframes: 10, Seed: 3})
+	a := src.Contention(120, 0.42)
+	b := src.Contention(120, 0.42)
+	if a != b {
+		t.Fatal("cache miss on identical query")
+	}
+	if a.Tcont <= 0 || a.NCCA < 2 {
+		t.Fatalf("implausible stats: %+v", a)
+	}
+	if src.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestCurveSourcePicksNearestPayload(t *testing.T) {
+	base := Config{Superframes: 10, Seed: 11}
+	c10 := BuildCurve(10, []float64{0.1, 0.5}, base)
+	c100 := BuildCurve(100, []float64{0.1, 0.5}, base)
+	src := NewCurveSource(c100, c10) // constructor must sort
+	if src.Curves[0].PayloadBytes != 10 {
+		t.Fatal("curves not sorted")
+	}
+	got := src.Contention(95, 0.3)
+	want := c100.At(0.3)
+	if got != want {
+		t.Fatalf("nearest-payload lookup: got %+v, want %+v", got, want)
+	}
+	if src.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestCurveSourceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty CurveSource must panic")
+		}
+	}()
+	(&CurveSource{}).Contention(120, 0.4)
+}
+
+func TestApproxQualitativeShape(t *testing.T) {
+	a := Approx{}
+	low := a.Contention(120, 0.05)
+	high := a.Contention(120, 0.7)
+	if low.PrCF >= high.PrCF {
+		t.Error("approx Prcf must grow with load")
+	}
+	if low.NCCA >= high.NCCA {
+		t.Error("approx NCCA must grow with load")
+	}
+	if low.Tcont >= high.Tcont {
+		t.Error("approx Tcont must grow with load")
+	}
+	if low.PrCol >= high.PrCol {
+		t.Error("approx Prcol must grow with load")
+	}
+	// At zero load: exactly CW CCAs, no failures.
+	zero := a.Contention(120, 0)
+	if zero.NCCA != 2 || zero.PrCF != 0 || zero.PrCol != 0 {
+		t.Errorf("zero-load approx: %+v", zero)
+	}
+	if a.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestApproxRoughlyTracksMonteCarlo(t *testing.T) {
+	// The closed form is a baseline, not a replacement: require only
+	// order-of-magnitude agreement at moderate load.
+	mc := NewMCSource(Config{Superframes: 40, Seed: 5})
+	ap := Approx{}
+	m := mc.Contention(120, 0.3)
+	g := ap.Contention(120, 0.3)
+	if g.NCCA < m.NCCA/3 || g.NCCA > m.NCCA*3 {
+		t.Errorf("approx NCCA %v vs MC %v: off by >3x", g.NCCA, m.NCCA)
+	}
+	if g.Tcont < m.Tcont/5 || g.Tcont > m.Tcont*5 {
+		t.Errorf("approx Tcont %v vs MC %v: off by >5x", g.Tcont, m.Tcont)
+	}
+}
+
+func TestApproxBLEShrinksBackoff(t *testing.T) {
+	p := mac.PaperParams()
+	p.BatteryLifeExt = true
+	ble := Approx{CSMA: p}.Contention(120, 0.4)
+	std := Approx{}.Contention(120, 0.4)
+	if ble.Tcont >= std.Tcont {
+		t.Errorf("BLE backoff %v not shorter than standard %v", ble.Tcont, std.Tcont)
+	}
+}
+
+func TestPacketsPerSuperframe(t *testing.T) {
+	cfg := Config{PayloadBytes: 120, TargetLoad: 0.433, Seed: 1}
+	// λ·Tib/Tpacket = 0.433·983.04ms/4.256ms ≈ 100 packets.
+	got := cfg.PacketsPerSuperframe()
+	if got < 95 || got > 105 {
+		t.Fatalf("packets per superframe = %v, want ≈100", got)
+	}
+	if cfg.PacketDuration() != 4256*time.Microsecond {
+		t.Fatalf("packet duration = %v", cfg.PacketDuration())
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"dense802154/internal/units"
+)
+
+// Improvement perspectives (§5-§6): from the energy breakdown the paper
+// proposes (a) halving the state transition times ("would decrease the
+// total average power by 12%") and (b) a scalable receiver with a low-power
+// mode for channel sensing and acknowledgment waiting ("an additional
+// 15%"). Both are pure radio-architecture changes, so they are modeled as
+// derived radio characterizations.
+
+// Improvement is one ablation row.
+type Improvement struct {
+	Name      string
+	AvgPower  units.Power
+	Reduction float64 // vs the baseline
+}
+
+// ImprovementResult is the ablation set over the case-study scenario.
+type ImprovementResult struct {
+	Baseline units.Power
+	Rows     []Improvement
+}
+
+// ImprovementOptions tunes the two perspectives.
+type ImprovementOptions struct {
+	// TransitionScale is the transition-time factor (0.5 = "reducing the
+	// transition time between states by a factor two").
+	TransitionScale float64
+	// ListenScale is the scalable receiver's listen-power fraction for
+	// CCA and acknowledgment waiting.
+	ListenScale float64
+}
+
+// DefaultImprovements returns the paper's settings.
+func DefaultImprovements() ImprovementOptions {
+	return ImprovementOptions{TransitionScale: 0.5, ListenScale: 0.5}
+}
+
+// EvaluateImprovements reruns the case study with the modified radios and
+// reports the average-power reductions.
+func EvaluateImprovements(p Params, cfg CaseStudyConfig, opt ImprovementOptions) (ImprovementResult, error) {
+	baseRes, err := RunCaseStudy(p, cfg)
+	if err != nil {
+		return ImprovementResult{}, err
+	}
+	out := ImprovementResult{Baseline: baseRes.AvgPower}
+
+	run := func(name string, q Params) error {
+		r, err := RunCaseStudy(q, cfg)
+		if err != nil {
+			return fmt.Errorf("improvement %q: %w", name, err)
+		}
+		out.Rows = append(out.Rows, Improvement{
+			Name:      name,
+			AvgPower:  r.AvgPower,
+			Reduction: 1 - float64(r.AvgPower)/float64(out.Baseline),
+		})
+		return nil
+	}
+
+	// (a) Faster transitions. The preemptive wake-up lead shrinks with
+	// the shutdown→idle transition it covers.
+	fast := p
+	fast.Radio = p.Radio.WithTransitionScale(opt.TransitionScale)
+	fast.WakeupLead = scale(p.WakeupLead, opt.TransitionScale)
+	if err := run(fmt.Sprintf("transitions ×%g", opt.TransitionScale), fast); err != nil {
+		return ImprovementResult{}, err
+	}
+
+	// (b) Scalable receiver.
+	scalable := p
+	scalable.Radio = p.Radio.WithScalableReceiver(opt.ListenScale)
+	if err := run(fmt.Sprintf("scalable receiver (listen ×%g)", opt.ListenScale), scalable); err != nil {
+		return ImprovementResult{}, err
+	}
+
+	// (a) + (b) combined.
+	both := fast
+	both.Radio = fast.Radio.WithScalableReceiver(opt.ListenScale)
+	if err := run("both", both); err != nil {
+		return ImprovementResult{}, err
+	}
+	return out, nil
+}

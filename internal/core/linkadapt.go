@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dense802154/internal/fit"
+	"dense802154/internal/stats"
+)
+
+// Link adaptation (§4-§5): with a fixed data rate, the energy-optimal
+// policy is channel inversion — pick the lowest transmit level whose energy
+// per bit at the measured path loss beats all others. The switching
+// thresholds are the crossings of the per-level energy-vs-path-loss curves
+// (the circles of Fig. 7); the paper observes they are independent of the
+// network load.
+
+// OptimalTXLevel returns the energy-per-bit-minimizing transmit level for
+// p's path loss.
+func OptimalTXLevel(p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	// Pick the finite minimum; when no level closes the link (deep in the
+	// out-of-range tail), fall back to full power.
+	best, bestE := -1, math.Inf(1)
+	for i := 0; i <= p.Radio.MaxTXLevel(); i++ {
+		q := p
+		q.TXLevelIndex = i
+		m := evaluateAtLevel(q)
+		if !math.IsInf(m.EnergyPerBitJ, 0) && !math.IsNaN(m.EnergyPerBitJ) && m.EnergyPerBitJ < bestE {
+			best, bestE = i, m.EnergyPerBitJ
+		}
+	}
+	if best < 0 {
+		best = p.Radio.MaxTXLevel()
+	}
+	return best, nil
+}
+
+// EnergyCurve is energy per bit versus path loss for one transmit level.
+type EnergyCurve struct {
+	LevelIndex int
+	LevelDBm   float64
+	LossDB     []float64
+	EnergyJ    []float64 // J/bit
+}
+
+// EnergyVsPathLoss evaluates the model across a path-loss grid for every
+// transmit level of the radio (one Fig. 7 family at p.Load).
+func EnergyVsPathLoss(p Params, losses []float64) ([]EnergyCurve, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	curves := make([]EnergyCurve, 0, p.Radio.MaxTXLevel()+1)
+	for i := 0; i <= p.Radio.MaxTXLevel(); i++ {
+		c := EnergyCurve{
+			LevelIndex: i,
+			LevelDBm:   p.Radio.TXLevels[i].DBm,
+			LossDB:     append([]float64(nil), losses...),
+			EnergyJ:    make([]float64, len(losses)),
+		}
+		for j, a := range losses {
+			q := p
+			q.TXLevelIndex = i
+			q.PathLossDB = a
+			m := evaluateAtLevel(q)
+			c.EnergyJ[j] = m.EnergyPerBitJ
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// Threshold is one link-adaptation switching point: above LossDB the node
+// should move from FromDBm to ToDBm.
+type Threshold struct {
+	FromLevel, ToLevel int
+	FromDBm, ToDBm     float64
+	LossDB             float64
+}
+
+// String implements fmt.Stringer.
+func (t Threshold) String() string {
+	return fmt.Sprintf("switch %g→%g dBm at %.1f dB path loss", t.FromDBm, t.ToDBm, t.LossDB)
+}
+
+// Thresholds locates the switching path losses between consecutive transmit
+// levels by finding the crossings of their energy curves (the circles of
+// Fig. 7). Levels whose curves never cross inside the grid are skipped.
+func Thresholds(p Params, losses []float64) ([]Threshold, error) {
+	curves, err := EnergyVsPathLoss(p, losses)
+	if err != nil {
+		return nil, err
+	}
+	var out []Threshold
+	for i := 0; i+1 < len(curves); i++ {
+		xc, ok := fit.Crossing(losses, curves[i].EnergyJ, curves[i+1].EnergyJ)
+		if !ok {
+			continue
+		}
+		out = append(out, Threshold{
+			FromLevel: curves[i].LevelIndex,
+			ToLevel:   curves[i+1].LevelIndex,
+			FromDBm:   curves[i].LevelDBm,
+			ToDBm:     curves[i+1].LevelDBm,
+			LossDB:    xc,
+		})
+	}
+	return out, nil
+}
+
+// AdaptationSavings quantifies the paper's "adaptation of the transmit
+// power can save up to 40% of the total energy": the relative energy-per-
+// bit reduction of the adapted policy versus always transmitting at full
+// power, at the given path loss.
+func AdaptationSavings(p Params, lossDB float64) (float64, error) {
+	p.PathLossDB = lossDB
+	p.TXLevelIndex = AutoTXLevel
+	adapted, err := Evaluate(p)
+	if err != nil {
+		return 0, err
+	}
+	p.TXLevelIndex = p.Radio.MaxTXLevel()
+	full, err := Evaluate(p)
+	if err != nil {
+		return 0, err
+	}
+	if full.EnergyPerBitJ == 0 {
+		return 0, nil
+	}
+	return 1 - adapted.EnergyPerBitJ/full.EnergyPerBitJ, nil
+}
+
+// AdaptedEnergySeries evaluates the link-adapted (lower envelope) energy
+// per bit across a path-loss grid — the solid curve of Fig. 7.
+func AdaptedEnergySeries(p Params, losses []float64) (stats.Series, error) {
+	if err := p.Validate(); err != nil {
+		return stats.Series{}, err
+	}
+	s := stats.Series{Label: fmt.Sprintf("load %.2f", p.Load)}
+	for _, a := range losses {
+		q := p
+		q.PathLossDB = a
+		q.TXLevelIndex = AutoTXLevel
+		m, err := Evaluate(q)
+		if err != nil {
+			return stats.Series{}, err
+		}
+		s.Append(a, m.EnergyPerBitJ)
+	}
+	return s, nil
+}
+
+// DelayAt is a small helper exposing the model delay at a path loss (used
+// by examples).
+func DelayAt(p Params, lossDB float64) (time.Duration, error) {
+	p.PathLossDB = lossDB
+	m, err := Evaluate(p)
+	if err != nil {
+		return 0, err
+	}
+	return m.Delay, nil
+}

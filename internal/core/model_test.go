@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dense802154/internal/contention"
+	"dense802154/internal/frame"
+	"dense802154/internal/mac"
+	"dense802154/internal/phy"
+	"dense802154/internal/radio"
+)
+
+// fixedSource returns constant contention statistics, making unit tests of
+// the closed-form part of the model exact and fast.
+type fixedSource struct{ s contention.Stats }
+
+func (f fixedSource) Contention(int, float64) contention.Stats { return f.s }
+
+// quietContention: a nearly empty channel.
+func quietContention() contention.Source {
+	return fixedSource{contention.Stats{
+		Tcont: 2 * time.Millisecond,
+		NCCA:  2,
+		PrCF:  0,
+		PrCol: 0,
+	}}
+}
+
+func testParams() Params {
+	p := DefaultParams()
+	p.Contention = quietContention()
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.Radio = nil },
+		func(p *Params) { p.BER = nil },
+		func(p *Params) { p.Contention = nil },
+		func(p *Params) { p.PayloadBytes = 0 },
+		func(p *Params) { p.PayloadBytes = 200 },
+		func(p *Params) { p.Load = -0.1 },
+		func(p *Params) { p.Load = 1.5 },
+		func(p *Params) { p.NMax = 0 },
+		func(p *Params) { p.TXLevelIndex = 99 },
+		func(p *Params) { p.Superframe = mac.Superframe{BO: 15} },
+	}
+	for i, mutate := range cases {
+		p := testParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestEvaluateRejectsInvalid(t *testing.T) {
+	p := testParams()
+	p.PayloadBytes = -1
+	if _, err := Evaluate(p); err == nil {
+		t.Fatal("Evaluate accepted invalid params")
+	}
+}
+
+func TestPacketTimingEq3(t *testing.T) {
+	p := testParams()
+	p.TXLevelIndex = 7
+	m, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. (3): (13+120)·32µs = 4.256 ms.
+	if m.Tpacket != 4256*time.Microsecond {
+		t.Fatalf("Tpacket = %v", m.Tpacket)
+	}
+}
+
+func TestErrorChainEqs7to10(t *testing.T) {
+	// With a clean channel and no collisions, PrTF = PrE.
+	p := testParams()
+	p.TXLevelIndex = 7
+	p.PathLossDB = 90 // PRx = -90 dBm, meaningful BER
+	m, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBit := phy.Eq1.BitErrorRate(-90)
+	if math.Abs(m.PrBit-wantBit)/wantBit > 1e-12 {
+		t.Fatalf("PrBit = %v, want %v", m.PrBit, wantBit)
+	}
+	wantE := phy.PacketErrorRateBytes(wantBit, frame.ErrorProneBytes(120))
+	if math.Abs(m.PrE-wantE)/wantE > 1e-12 {
+		t.Fatalf("PrE = %v, want %v", m.PrE, wantE)
+	}
+	if math.Abs(m.PrTF-m.PrE) > 1e-15 {
+		t.Fatalf("PrTF %v != PrE %v with no collisions", m.PrTF, m.PrE)
+	}
+	// E[tx] for truncated geometric: sum_{i=1..5} i p^{i-1}(1-p) + 5 p^5.
+	pf := m.PrTF
+	want := 0.0
+	for i := 1; i <= 5; i++ {
+		want += float64(i) * math.Pow(pf, float64(i-1)) * (1 - pf)
+	}
+	want += 5 * math.Pow(pf, 5)
+	if math.Abs(m.ExpectedTx-want) > 1e-12 {
+		t.Fatalf("ExpectedTx = %v, want %v", m.ExpectedTx, want)
+	}
+}
+
+func TestDwellTimesCleanChannel(t *testing.T) {
+	// With PrCF=0, PrCol=0 and a perfect link, exactly one transmission:
+	// the eq. (4)-(6) terms are directly checkable.
+	p := testParams()
+	p.TXLevelIndex = 7
+	p.PathLossDB = 40 // essentially error-free
+	p.IncludeIFS = false
+	m, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ExpectedTx-1) > 1e-9 {
+		t.Fatalf("ExpectedTx = %v, want 1", m.ExpectedTx)
+	}
+	// T_idle = Tsi + 1·(Tcont + t_ack−).
+	wantIdle := time.Millisecond + 2*time.Millisecond + mac.AckWaitMin
+	if d := m.Tidle - wantIdle; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("Tidle = %v, want %v", m.Tidle, wantIdle)
+	}
+	// T_TX = Tpacket.
+	if d := m.TTx - m.Tpacket; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("TTx = %v, want %v", m.TTx, m.Tpacket)
+	}
+	// T_RX = (Tia+Tbeacon) + 2·(Tia+Tcca) + (Tia + (t_ack+ − t_ack−)).
+	tia := 194 * time.Microsecond
+	wantRx := tia + phy.TxDuration(30) +
+		2*(tia+phy.CCADuration) +
+		tia + (mac.AckWaitMax - mac.AckWaitMin)
+	if d := m.TRx - wantRx; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("TRx = %v, want %v", m.TRx, wantRx)
+	}
+	// State times are consistent with the beacon interval.
+	total := m.States.Shutdown + m.States.Idle + m.States.RX + m.States.TX
+	if total != p.Superframe.BeaconInterval() {
+		t.Fatalf("state times sum %v != Tib %v", total, p.Superframe.BeaconInterval())
+	}
+}
+
+func TestAveragePowerEq11ByHand(t *testing.T) {
+	// Cross-check eq. (11) against a hand computation from the breakdown.
+	p := testParams()
+	p.TXLevelIndex = 3
+	p.PathLossDB = 60
+	m, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tib := p.Superframe.BeaconInterval()
+	hand := float64(m.Breakdown.Total()) / tib.Seconds()
+	if math.Abs(hand-float64(m.AvgPower))/hand > 1e-12 {
+		t.Fatalf("AvgPower %v != breakdown/Tib %v", float64(m.AvgPower), hand)
+	}
+	// Energy per superframe must equal breakdown total.
+	if m.EnergyPerFrame != m.Breakdown.Total() {
+		t.Fatal("EnergyPerFrame != breakdown total")
+	}
+}
+
+func TestRetransmissionsIncreaseEverything(t *testing.T) {
+	bad := fixedSource{contention.Stats{
+		Tcont: 4 * time.Millisecond, NCCA: 3, PrCF: 0.1, PrCol: 0.3,
+	}}
+	p := testParams()
+	p.TXLevelIndex = 7
+	p.PathLossDB = 60
+	clean, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Contention = bad
+	noisy, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.ExpectedTx <= clean.ExpectedTx {
+		t.Error("collisions must raise the expected transmission count")
+	}
+	if noisy.TTx <= clean.TTx {
+		t.Error("retransmissions must raise TX time")
+	}
+	if noisy.AvgPower <= clean.AvgPower {
+		t.Error("retransmissions must raise power")
+	}
+	if noisy.PrFail <= clean.PrFail {
+		t.Error("collisions must raise the failure probability")
+	}
+	if noisy.Delay <= clean.Delay {
+		t.Error("failures must raise delay")
+	}
+}
+
+func TestFailureProbabilityEq13(t *testing.T) {
+	src := fixedSource{contention.Stats{Tcont: time.Millisecond, NCCA: 2, PrCF: 0.2, PrCol: 0.1}}
+	p := testParams()
+	p.Contention = src
+	p.TXLevelIndex = 7
+	p.PathLossDB = 40 // no bit errors: PrTF = PrCol
+	m, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (1-0.2)*(1-math.Pow(0.1, 5))
+	if math.Abs(m.PrFail-want) > 1e-9 {
+		t.Fatalf("PrFail = %v, want %v", m.PrFail, want)
+	}
+	wantDelay := time.Duration(float64(p.Superframe.BeaconInterval()) / (1 - want))
+	if d := m.Delay - wantDelay; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("Delay = %v, want %v", m.Delay, wantDelay)
+	}
+}
+
+func TestOutOfRangeNodeSaturates(t *testing.T) {
+	p := testParams()
+	p.TXLevelIndex = 0 // -25 dBm
+	p.PathLossDB = 110 // PRx = -135 dBm: hopeless
+	m, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PrFail < 0.999 {
+		t.Fatalf("PrFail = %v, want ≈1", m.PrFail)
+	}
+	if !math.IsInf(m.EnergyPerBitJ, 1) {
+		t.Fatalf("energy per bit = %v, want +Inf", m.EnergyPerBitJ)
+	}
+	if m.Delay <= 0 {
+		t.Fatalf("delay overflowed: %v", m.Delay)
+	}
+}
+
+func TestHigherBeaconOrderLowersPower(t *testing.T) {
+	// Longer inter-beacon periods amortize the per-superframe costs.
+	p := testParams()
+	p.TXLevelIndex = 7
+	sf6, _ := mac.NewSuperframe(6, 6)
+	sf8, _ := mac.NewSuperframe(8, 8)
+	p.Superframe = sf6
+	m6, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Superframe = sf8
+	m8, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m8.AvgPower >= m6.AvgPower {
+		t.Errorf("power at BO=8 (%v) not below BO=6 (%v)", m8.AvgPower, m6.AvgPower)
+	}
+	// But delay grows.
+	if m8.Delay <= m6.Delay {
+		t.Error("delay must grow with the beacon interval")
+	}
+}
+
+func TestShutdownLeakageToggle(t *testing.T) {
+	p := testParams()
+	p.TXLevelIndex = 7
+	p.IncludeShutdownLeakage = true
+	with, _ := Evaluate(p)
+	p.IncludeShutdownLeakage = false
+	without, _ := Evaluate(p)
+	diff := float64(with.AvgPower - without.AvgPower)
+	// The leakage floor is 144 nW; the shutdown fraction is ≈98.5%.
+	if diff < 100e-9 || diff > 150e-9 {
+		t.Fatalf("leakage contribution = %v W, want ≈0.14 µW", diff)
+	}
+}
+
+func TestPaperAckAccountingIsWorstCase(t *testing.T) {
+	p := testParams()
+	p.TXLevelIndex = 7
+	p.PaperAckAccounting = true
+	worst, _ := Evaluate(p)
+	p.PaperAckAccounting = false
+	refined, _ := Evaluate(p)
+	if worst.TRx <= refined.TRx {
+		t.Errorf("paper ack accounting %v not above refined %v", worst.TRx, refined.TRx)
+	}
+}
+
+func TestScalableReceiverReducesListenEnergy(t *testing.T) {
+	p := testParams()
+	p.TXLevelIndex = 7
+	base, _ := Evaluate(p)
+	p.Radio = radio.CC2420().WithScalableReceiver(0.5)
+	scaled, _ := Evaluate(p)
+	if scaled.AvgPower >= base.AvgPower {
+		t.Error("scalable receiver must cut power")
+	}
+	// The beacon phase is unaffected (full RX power there).
+	if math.Abs(float64(scaled.Breakdown.Beacon-base.Breakdown.Beacon)) > 1e-15 {
+		t.Error("scalable receiver must not touch beacon reception")
+	}
+	if scaled.Breakdown.Contention >= base.Breakdown.Contention {
+		t.Error("contention CCA energy must shrink")
+	}
+	if scaled.Breakdown.Ack >= base.Breakdown.Ack {
+		t.Error("ack wait energy must shrink")
+	}
+}
+
+func TestBreakdownSharesSumToOne(t *testing.T) {
+	p := testParams()
+	p.TXLevelIndex = 4
+	m, _ := Evaluate(p)
+	sh := m.Breakdown.Share()
+	sum := 0.0
+	for _, v := range sh {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	fr := m.States.Fractions()
+	sum = 0
+	for _, v := range fr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("state fractions sum to %v", sum)
+	}
+}
+
+func TestBreakdownZeroTotals(t *testing.T) {
+	var b Breakdown
+	if b.Share() != [5]float64{} {
+		t.Fatal("zero breakdown share")
+	}
+	var s StateTimes
+	if s.Fractions() != [4]float64{} {
+		t.Fatal("zero state fractions")
+	}
+}

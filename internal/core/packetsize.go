@@ -1,0 +1,52 @@
+package core
+
+import (
+	"dense802154/internal/frame"
+	"dense802154/internal/stats"
+)
+
+// Packet size optimization (§5, Fig. 8): small packets amortize the fixed
+// MAC overhead poorly; large packets suffer more corruption and, at high
+// load, more channel access failures. The paper finds the energy per bit
+// nonetheless decreases monotonically up to the 123-byte maximum.
+
+// EnergyVsPayload evaluates the link-adapted energy per bit across payload
+// sizes at p's load and path loss — one Fig. 8 curve.
+func EnergyVsPayload(p Params, sizes []int) (stats.Series, error) {
+	if err := p.Validate(); err != nil {
+		return stats.Series{}, err
+	}
+	s := stats.Series{}
+	for _, L := range sizes {
+		q := p
+		q.PayloadBytes = L
+		q.TXLevelIndex = AutoTXLevel
+		m, err := Evaluate(q)
+		if err != nil {
+			return stats.Series{}, err
+		}
+		s.Append(float64(L), m.EnergyPerBitJ)
+	}
+	return s, nil
+}
+
+// OptimalPayload reports the payload size minimizing energy per bit over
+// the 1..frame.MaxDataPayload range, scanning the given step (≥1).
+func OptimalPayload(p Params, step int) (int, float64, error) {
+	if step < 1 {
+		step = 1
+	}
+	var sizes []int
+	for L := step; L <= frame.MaxDataPayload; L += step {
+		sizes = append(sizes, L)
+	}
+	if sizes[len(sizes)-1] != frame.MaxDataPayload {
+		sizes = append(sizes, frame.MaxDataPayload)
+	}
+	s, err := EnergyVsPayload(p, sizes)
+	if err != nil {
+		return 0, 0, err
+	}
+	x, y, _ := s.MinY()
+	return int(x), y, nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dense802154/internal/contention"
+)
+
+// Property-based tests of model invariants, driven by the closed-form
+// contention approximation so evaluations are pure and fast.
+
+func propParams() Params {
+	p := DefaultParams()
+	p.Contention = contention.Approx{}
+	return p
+}
+
+// Property: failure probability, delay and energy per *delivered* bit are
+// monotone non-decreasing in network load. (Average power is NOT monotone:
+// at high load, channel access failures abort transactions before the
+// expensive transmission, trading delivery for energy — which is exactly
+// why the cost metric must be per delivered bit.)
+func TestPropertyDeliveryCostMonotoneInLoad(t *testing.T) {
+	f := func(a, b uint8) bool {
+		l1 := float64(a%90) / 100
+		l2 := l1 + float64(b%10+1)/100
+		if l2 > 1 {
+			l2 = 1
+		}
+		p := propParams()
+		p.TXLevelIndex = 7
+		p.Load = l1
+		m1, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		p.Load = l2
+		m2, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		if m2.PrFail < m1.PrFail-1e-12 || m2.Delay < m1.Delay {
+			return false
+		}
+		return m2.EnergyPerBitJ >= m1.EnergyPerBitJ*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at a fixed TX level, failure probability and delay are
+// monotone in path loss.
+func TestPropertyFailureMonotoneInLoss(t *testing.T) {
+	f := func(a, b uint8) bool {
+		a1 := 40 + float64(a%55)
+		a2 := a1 + float64(b%10) + 0.5
+		p := propParams()
+		p.TXLevelIndex = 7
+		p.PathLossDB = a1
+		m1, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		p.PathLossDB = a2
+		m2, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		return m2.PrFail >= m1.PrFail-1e-12 && m2.Delay >= m1.Delay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the dwell times never exceed the beacon interval, and all
+// probabilities stay in [0,1], for any corner of the parameter space.
+func TestPropertyModelSanity(t *testing.T) {
+	f := func(payload uint8, loadRaw, lossRaw uint16, level uint8, nmax uint8) bool {
+		p := propParams()
+		p.PayloadBytes = int(payload%123) + 1
+		p.Load = float64(loadRaw%1000) / 1000
+		p.PathLossDB = 30 + float64(lossRaw%900)/10 // 30..120 dB
+		p.TXLevelIndex = int(level % 8)
+		p.NMax = int(nmax%7) + 1
+		m, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		tib := p.Superframe.BeaconInterval()
+		if m.Tidle < 0 || m.TTx < 0 || m.TRx < 0 {
+			return false
+		}
+		if m.Tidle+m.TTx+m.TRx > 2*tib {
+			// The expected-value dwell can exceed Tib only in absurd
+			// retry regimes; twice Tib is a hard sanity bound.
+			return false
+		}
+		for _, pr := range []float64{m.PrBit, m.PrE, m.PrTF, m.PrCF, m.PrFail} {
+			if pr < 0 || pr > 1 || math.IsNaN(pr) {
+				return false
+			}
+		}
+		if m.ExpectedTx < 1 || m.ExpectedTx > float64(p.NMax) {
+			return false
+		}
+		if m.AvgPower < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the energy breakdown is non-negative and consistent with the
+// per-frame energy.
+func TestPropertyBreakdownConsistent(t *testing.T) {
+	f := func(payload uint8, level uint8, lossRaw uint16) bool {
+		p := propParams()
+		p.PayloadBytes = int(payload%123) + 1
+		p.TXLevelIndex = int(level % 8)
+		p.PathLossDB = 40 + float64(lossRaw%500)/10
+		m, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		b := m.Breakdown
+		for _, e := range []float64{
+			float64(b.Beacon), float64(b.Contention), float64(b.Transmit),
+			float64(b.Ack), float64(b.IFS), float64(b.Sleep),
+		} {
+			if e < 0 || math.IsNaN(e) {
+				return false
+			}
+		}
+		return math.Abs(float64(b.Total()-m.EnergyPerFrame)) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing NMax can only decrease the failure probability and
+// increase (or hold) the energy.
+func TestPropertyNMaxTradeoff(t *testing.T) {
+	f := func(n uint8, lossRaw uint8) bool {
+		n1 := int(n%5) + 1
+		n2 := n1 + 1
+		p := propParams()
+		p.TXLevelIndex = 7
+		p.PathLossDB = 80 + float64(lossRaw%12) // lossy region: retries matter
+		p.NMax = n1
+		m1, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		p.NMax = n2
+		m2, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		return m2.PrFail <= m1.PrFail+1e-12 && m2.AvgPower >= m1.AvgPower-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluation is a pure function — identical inputs give
+// identical outputs (guards against hidden state in the model path).
+func TestPropertyEvaluateDeterministic(t *testing.T) {
+	f := func(payload uint8, level uint8) bool {
+		p := propParams()
+		p.PayloadBytes = int(payload%123) + 1
+		p.TXLevelIndex = int(level % 8)
+		m1, err1 := Evaluate(p)
+		m2, err2 := Evaluate(p)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return m1.AvgPower == m2.AvgPower && m1.PrFail == m2.PrFail &&
+			m1.Delay == m2.Delay && m1.Tidle == m2.Tidle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the GTS-style zero-contention source is a lower bound on
+// failure probability and on energy per delivered bit versus any
+// contention environment. (Raw average power is not bounded this way:
+// frequent access failures abort before the costly transmission.)
+func TestPropertyContentionIsPureOverhead(t *testing.T) {
+	f := func(tcontMS uint8, ncca uint8, cfRaw, colRaw uint8) bool {
+		src := fixedSource{contention.Stats{
+			Tcont: time.Duration(tcontMS%20) * time.Millisecond,
+			NCCA:  float64(ncca%6) + 2,
+			PrCF:  float64(cfRaw%80) / 100,
+			PrCol: float64(colRaw%50) / 100,
+		}}
+		p := propParams()
+		p.TXLevelIndex = 7
+		p.Contention = src
+		busy, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		p.Contention = fixedSource{contention.Stats{}}
+		free, err := Evaluate(p)
+		if err != nil {
+			return false
+		}
+		if busy.PrFail < free.PrFail-1e-12 {
+			return false
+		}
+		return busy.EnergyPerBitJ >= free.EnergyPerBitJ*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package des implements a small deterministic discrete-event simulation
+// kernel used by the network simulator and the Monte-Carlo contention
+// characterizer.
+//
+// Design:
+//   - Simulated time is a time.Duration measured from the start of the
+//     simulation; 802.15.4 timing (16 µs symbols, 320 µs backoff slots) is
+//     exactly representable in nanoseconds.
+//   - Events scheduled for the same instant fire in scheduling order
+//     (FIFO), which makes runs reproducible for a fixed seed.
+//   - The kernel is single-goroutine by design: handlers run synchronously
+//     inside Step/Run and may schedule or cancel further events.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Handler is a callback invoked when an event fires.
+type Handler func()
+
+// Event is a scheduled callback. It is returned by Schedule/At and can be
+// cancelled. The zero value is not a valid event.
+type Event struct {
+	at      time.Duration
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	fn      Handler
+	stopped bool
+}
+
+// Time reports the instant the event is (or was) scheduled to fire.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.stopped }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event simulator instance.
+type Simulator struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	fired uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// Identical seeds and identical scheduling sequences produce identical runs.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand exposes the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired reports the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports the number of events currently queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run after delay. It panics on negative delays:
+// scheduling into the past is always a bug in the calling model.
+func (s *Simulator) Schedule(delay time.Duration, fn Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At queues fn to run at absolute simulated time t (>= Now).
+func (s *Simulator) At(t time.Duration, fn Handler) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.stopped {
+		return
+	}
+	e.stopped = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.stopped {
+			continue
+		}
+		s.now = e.at
+		e.stopped = true
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline. Events scheduled after the deadline remain queued.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for {
+		e := s.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// peek returns the next non-cancelled event without firing it.
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].stopped {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}

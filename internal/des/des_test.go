@@ -1,0 +1,258 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []time.Duration
+	delays := []time.Duration{50, 10, 30, 20, 40}
+	for _, d := range delays {
+		d := d
+		s.Schedule(d*time.Microsecond, func() {
+			order = append(order, s.Now())
+		})
+	}
+	s.Run()
+	if len(order) != len(delays) {
+		t.Fatalf("fired %d events, want %d", len(order), len(delays))
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != 50*time.Microsecond {
+		t.Fatalf("final time %v, want 50µs", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time ordering violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(time.Millisecond, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Double cancel and nil cancel are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	s := New(1)
+	fired := false
+	var victim *Event
+	s.Schedule(time.Microsecond, func() { s.Cancel(victim) })
+	victim = s.Schedule(time.Millisecond, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled from a handler still fired")
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(times) != 2 || times[0] != want[0] || times[1] != want[1] {
+		t.Fatalf("got %v, want %v", times, want)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(5 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("RunUntil fired %d events, want 5", count)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("now %v, want 5ms", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending %d, want 5", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("total fired %d, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New(1)
+	s.RunUntil(42 * time.Second)
+	if s.Now() != 42*time.Second {
+		t.Fatalf("now %v, want 42s", s.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	New(1).Schedule(-time.Second, func() {})
+}
+
+func TestPastAtPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on scheduling in the past")
+		}
+	}()
+	s.At(time.Millisecond, func() {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nil handler")
+		}
+	}()
+	New(1).Schedule(time.Second, nil)
+}
+
+func TestDeterminismForFixedSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		s := New(seed)
+		var out []time.Duration
+		var spawn func()
+		n := 0
+		spawn = func() {
+			out = append(out, s.Now())
+			n++
+			if n < 200 {
+				d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+				s.Schedule(d, spawn)
+			}
+		}
+		s.Schedule(0, spawn)
+		s.Run()
+		return out
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire sorted by time
+// and the number fired equals the number scheduled.
+func TestPropertyOrderedFiring(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New(3)
+		var fired []time.Duration
+		for _, r := range raw {
+			s.Schedule(time.Duration(r)*time.Microsecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(n uint8, mask uint64) bool {
+		count := int(n%64) + 1
+		s := New(5)
+		firedCount := 0
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			events[i] = s.Schedule(time.Duration(i)*time.Microsecond, func() { firedCount++ })
+		}
+		cancelled := 0
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Cancel(events[i])
+				cancelled++
+			}
+		}
+		s.Run()
+		return firedCount == count-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapStressRandomOrder(t *testing.T) {
+	s := New(9)
+	rng := rand.New(rand.NewSource(42))
+	const n = 5000
+	var last time.Duration
+	ok := true
+	for i := 0; i < n; i++ {
+		s.Schedule(time.Duration(rng.Intn(1_000_000))*time.Nanosecond, func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		})
+	}
+	s.Run()
+	if !ok {
+		t.Fatal("heap delivered events out of order under stress")
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 7} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"arrival", "bands", "ble", "bosweep", "casestudy", "contmodel",
+		"downlink", "drift", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "gts", "improvements", "join", "lifetime", "ptr",
+		"shadowing", "sosweep", "validate",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.Name != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.Name, want[i])
+		}
+		if e.Title == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("fig6"); !ok {
+		t.Fatal("fig6 not found")
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Fatal("phantom experiment")
+	}
+}
+
+// TestAllExperimentsRunQuick smoke-runs every driver at reduced scale and
+// sanity-checks the emitted tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tables, err := e.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s returned no tables", e.Name)
+			}
+			for _, tb := range tables {
+				if tb.Title == "" {
+					t.Errorf("%s: table without title", e.Name)
+				}
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.Name, tb.Title)
+				}
+				if tb.String() == "" || tb.CSV() == "" {
+					t.Errorf("%s: unrenderable table %q", e.Name, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestFig3Content(t *testing.T) {
+	tables, err := ByNameMust("fig3").Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].String() + tables[1].String()
+	for _, want := range []string{"35.28 mW", "712.8 µW", "144 nW", "970µs", "shutdown → idle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6Monotonicity(t *testing.T) {
+	tables, err := ByNameMust("fig6").Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2 (index 2) is Pr_cf: every column must grow down the rows.
+	prcf := tables[2]
+	if len(prcf.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	first := prcf.Rows[0]
+	last := prcf.Rows[len(prcf.Rows)-1]
+	for col := 1; col < len(first); col++ {
+		if first[col] >= last[col] && first[col] != "0" {
+			// String compare is crude; just require the last row nonzero.
+			if last[col] == "0" {
+				t.Errorf("Pr_cf column %d did not grow with load", col)
+			}
+		}
+	}
+}
+
+func TestCaseStudyTableMentionsPaperNumbers(t *testing.T) {
+	tables, err := ByNameMust("casestudy").Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].String()
+	for _, want := range []string{"211 µW", "16%", "1.45 s", "µW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case study table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGTSCapacityBound(t *testing.T) {
+	tables, err := ByNameMust("gts").Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tables[0].String(), "7") {
+		t.Error("GTS capacity table must show the 7-descriptor bound")
+	}
+}
+
+// ByNameMust is a test helper.
+func ByNameMust(name string) Experiment {
+	e, ok := ByName(name)
+	if !ok {
+		panic("unknown experiment " + name)
+	}
+	return e
+}

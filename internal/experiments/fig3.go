@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dense802154/internal/radio"
+	"dense802154/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "fig3",
+		Title:       "Fig. 3: CC2420 steady-state and transient characterization",
+		Description: "Radio state powers, TX level currents, and state-transition times/energies embedded from the paper's measurements.",
+		Run:         runFig3,
+	})
+}
+
+func runFig3(Options) ([]*stats.Table, error) {
+	c := radio.CC2420()
+
+	states := stats.NewTable("CC2420 steady-state power (VDD = 1.8 V)",
+		"state", "current", "power", "paper")
+	states.AddRow("shutdown", "80 nA", c.ShutdownPower.String(), "144 nW")
+	states.AddRow("idle", "396 µA", c.IdlePower.String(), "712 µW")
+	states.AddRow("rx", "19.6 mA", c.RXPower.String(), "35.28 mW")
+	for _, l := range c.TXLevels {
+		idx, _ := c.LevelIndexFor(l.DBm)
+		states.AddRow(fmt.Sprintf("tx @ %+g dBm", l.DBm),
+			fmt.Sprintf("%.3g mA", l.CurrentA*1e3),
+			c.TXPowerAt(idx).String(), "")
+	}
+
+	trans := stats.NewTable("CC2420 state transitions (E = T × P(arrival state))",
+		"transition", "time", "energy", "paper")
+	row := func(from, to radio.State, paper string) {
+		tr, ok := c.Transition(from, to)
+		if !ok {
+			return
+		}
+		trans.AddRow(fmt.Sprintf("%v → %v", from, to), tr.Duration.String(), tr.Energy.String(), paper)
+	}
+	row(radio.Shutdown, radio.Idle, "970 µs / 691 nJ (printed pJ)")
+	row(radio.Idle, radio.RX, "194 µs / 6.63 µJ")
+	row(radio.Idle, radio.TX, "194 µs / 6.63 µJ")
+	row(radio.RX, radio.TX, "aTurnaroundTime 192 µs")
+	row(radio.TX, radio.RX, "aTurnaroundTime 192 µs")
+	trans.AddNote("the paper's '691 pJ' is 970 µs × 712.8 µW = 691 nJ; the unit is treated as a typo")
+	return []*stats.Table{states, trans}, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dense802154/internal/channel"
+	"dense802154/internal/contention"
+	"dense802154/internal/core"
+	"dense802154/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "fig7",
+		Title:       "Fig. 7: optimal energy per bit vs path loss; link-adaptation thresholds",
+		Description: "Link-adapted energy per bit across path loss for several network loads, the TX-level switching thresholds (crossings of the per-level curves), and the load-independence check.",
+		Run:         runFig7,
+	})
+}
+
+// fig7Loads follow the paper's "different network loads" families.
+var fig7Loads = []float64{0.1, 0.25, 0.42, 0.6}
+
+func runFig7(opt Options) ([]*stats.Table, error) {
+	grid := channel.LossGrid(40, 95, 56)
+	if opt.Quick {
+		grid = channel.LossGrid(40, 95, 12)
+	}
+	src := contention.NewMCSource(contention.Config{Superframes: mcSuperframes(opt), Seed: opt.Seed})
+
+	cols := []string{"path loss [dB]"}
+	for _, l := range fig7Loads {
+		cols = append(cols, fmt.Sprintf("λ=%.2f [nJ/bit]", l))
+	}
+	energy := stats.NewTable("Fig. 7: link-adapted energy per bit (120 B packets)", cols...)
+	series := make([]stats.Series, len(fig7Loads))
+	for li, l := range fig7Loads {
+		p := core.DefaultParams()
+		p.Contention = src
+		p.Load = l
+		s, err := core.AdaptedEnergySeries(p, grid)
+		if err != nil {
+			return nil, err
+		}
+		series[li] = s
+	}
+	for i, a := range grid {
+		row := []any{a}
+		for li := range fig7Loads {
+			row = append(row, series[li].Y[i]*1e9)
+		}
+		energy.AddRow(row...)
+	}
+	energy.AddNote("paper: 135 nJ/bit below 55 dB to 220 nJ/bit at 88 dB; transmission efficient up to ≈88 dB")
+
+	thr := stats.NewTable("Fig. 7 circles: TX power switching thresholds",
+		"switch", "λ=0.10 [dB]", "λ=0.42 [dB]", "Δ [dB]")
+	p := core.DefaultParams()
+	p.Contention = src
+	p.Load = 0.10
+	th1, err := core.Thresholds(p, grid)
+	if err != nil {
+		return nil, err
+	}
+	p.Load = 0.42
+	th2, err := core.Thresholds(p, grid)
+	if err != nil {
+		return nil, err
+	}
+	n := len(th1)
+	if len(th2) < n {
+		n = len(th2)
+	}
+	for i := 0; i < n; i++ {
+		thr.AddRow(fmt.Sprintf("%+g→%+g dBm", th1[i].FromDBm, th1[i].ToDBm),
+			th1[i].LossDB, th2[i].LossDB, th2[i].LossDB-th1[i].LossDB)
+	}
+	thr.AddNote("paper: 'the thresholds are independent of the network load' — Δ column should be ≈0")
+
+	sav := stats.NewTable("Link adaptation savings vs always-0-dBm", "path loss [dB]", "savings")
+	for _, a := range []float64{45, 55, 65, 75, 85} {
+		p := core.DefaultParams()
+		p.Contention = src
+		s, err := core.AdaptationSavings(p, a)
+		if err != nil {
+			return nil, err
+		}
+		sav.AddRow(a, fmt.Sprintf("%.1f%%", s*100))
+	}
+	sav.AddNote("paper: 'adaptation of the transmit power can save up to 40%% of the total energy'")
+	return []*stats.Table{energy, thr, sav}, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dense802154/internal/contention"
+	"dense802154/internal/core"
+	"dense802154/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "fig9",
+		Title:       "Fig. 9: energy-per-phase and time-per-state breakdowns",
+		Description: "The case-study breakdowns: share of energy per protocol phase (9a) and share of time per radio state (9b), population-averaged over the 55-95 dB path-loss range.",
+		Run:         runFig9,
+	})
+}
+
+func caseStudyParams(opt Options) core.Params {
+	p := core.DefaultParams()
+	p.Contention = contention.NewMCSource(contention.Config{
+		Superframes: mcSuperframes(opt), Seed: opt.Seed,
+	})
+	return p
+}
+
+func caseStudyConfig(opt Options) core.CaseStudyConfig {
+	cfg := core.DefaultCaseStudy()
+	if opt.Quick {
+		cfg.LossGridPoints = 11
+	}
+	return cfg
+}
+
+func runFig9(opt Options) ([]*stats.Table, error) {
+	res, err := core.RunCaseStudy(caseStudyParams(opt), caseStudyConfig(opt))
+	if err != nil {
+		return nil, err
+	}
+	sh := res.Breakdown.Share()
+	phases := stats.NewTable("Fig. 9a: energy per protocol phase (population average)",
+		"phase", "share", "paper")
+	phases.AddRow("beacon", pct(sh[0]), "≈20%")
+	phases.AddRow("contention", pct(sh[1]), "≈25%")
+	phases.AddRow("transmit", pct(sh[2]), "<50%")
+	phases.AddRow("ack", pct(sh[3]), "≈15%")
+	phases.AddRow("ifs", pct(sh[4]), "(small)")
+	phases.AddNote("paper: 'the effective transmission uses less than 50%% of the total energy'")
+
+	fr := res.States.Fractions()
+	states := stats.NewTable("Fig. 9b: time per radio state (population average)",
+		"state", "share", "paper")
+	states.AddRow("shutdown", pct(fr[0]), "98.77%")
+	states.AddRow("idle", pct(fr[1]), "0.47%")
+	states.AddRow("rx", pct(fr[2]), "0.28%")
+	states.AddRow("tx", pct(fr[3]), "0.48%")
+	return []*stats.Table{phases, states}, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dense802154/internal/core"
+	"dense802154/internal/frame"
+	"dense802154/internal/mac"
+	"dense802154/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "sosweep",
+		Title:       "EXT7: duty-cycling the superframe (SO < BO)",
+		Description: "The paper's §2 remark that beacon mode lets the transceiver sleep 'up to 15/16 of the time': shrinking the active period compresses the same traffic into a higher instantaneous load, trading failure probability for coordinator-side sleep.",
+		Run:         runSOSweep,
+	})
+}
+
+func runSOSweep(opt Options) ([]*stats.Table, error) {
+	p := caseStudyParams(opt)
+	tbl := stats.NewTable("Superframe order sweep at BO=6 (100 nodes, 120 B)",
+		"SO", "duty cycle", "effective λ in CAP", "avg power", "PrFail", "delay")
+	for so := uint8(6); ; so-- {
+		sf, err := mac.NewSuperframe(6, so)
+		if err != nil {
+			return nil, err
+		}
+		// The same per-superframe traffic squeezed into the active
+		// portion: the contention-relevant load scales by 2^(BO-SO).
+		baseLoad := sf.ChannelLoad(100, frame.PaperPacketDuration(p.PayloadBytes))
+		effLoad := baseLoad * float64(uint(1)<<(6-so))
+		if effLoad >= 1 {
+			tbl.AddRow(so, fmt.Sprintf("1/%d", 1<<(6-so)),
+				fmt.Sprintf("%.2f", effLoad), "overloaded", "—", "—")
+			if so == 0 {
+				break
+			}
+			continue
+		}
+		q := p
+		q.Superframe = sf
+		q.Load = effLoad
+		m, err := core.Evaluate(q)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(so, fmt.Sprintf("1/%d", 1<<(6-so)),
+			fmt.Sprintf("%.3f", effLoad), m.AvgPower.String(),
+			fmt.Sprintf("%.3f", m.PrFail), m.Delay.Round(time.Millisecond).String())
+		if so == 0 {
+			break
+		}
+	}
+	tbl.AddNote("node-side power barely moves (the node sleeps outside its own transaction either way); the cost of duty-cycling is contention: at SO=4 the case-study channel is fully loaded")
+	return []*stats.Table{tbl}, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dense802154/internal/core"
+	"dense802154/internal/netsim"
+	"dense802154/internal/radio"
+	"dense802154/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "validate",
+		Title:       "VAL: analytical model vs discrete-event simulation",
+		Description: "The case-study population run through both the paper's expected-value model (internal/core) and the cycle-accurate event simulator (internal/netsim); agreement validates the activation-policy accounting.",
+		Run:         runValidate,
+	})
+}
+
+func runValidate(opt Options) ([]*stats.Table, error) {
+	superframes := 40
+	if opt.Quick {
+		superframes = 8
+	}
+	sim := netsim.Run(netsim.Config{
+		Nodes:       100,
+		Superframes: superframes,
+		Seed:        opt.Seed,
+	})
+	params := caseStudyParams(opt)
+	cs, err := core.RunCaseStudy(params, caseStudyConfig(opt))
+	if err != nil {
+		return nil, err
+	}
+	modelCont := params.Contention.Contention(params.PayloadBytes, cs.Load)
+
+	tbl := stats.NewTable("Model vs simulation (100-node channel, BO=6, 120 B)",
+		"metric", "analytical model", "event simulation")
+	tbl.AddRow("average power/node",
+		cs.AvgPower.String(), sim.AvgPowerPerNode.String())
+	tbl.AddRow("delivery delay (mean)",
+		cs.MeanDelay.Round(time.Millisecond).String(), sim.MeanDelay.Round(time.Millisecond).String())
+	tbl.AddRow("contention T̄cont",
+		modelCont.Tcont.Round(time.Microsecond).String(), sim.Contention.Tcont.Round(time.Microsecond).String())
+	tbl.AddRow("contention N̄CCA",
+		fmt.Sprintf("%.2f", modelCont.NCCA), fmt.Sprintf("%.2f", sim.Contention.NCCA))
+	tbl.AddRow("channel access failure",
+		fmt.Sprintf("%.3f", modelCont.PrCF), fmt.Sprintf("%.3f", sim.Contention.PrCF))
+	tbl.AddRow("delivery ratio (after app retries)", "—", fmt.Sprintf("%.1f%%", sim.DeliveryRatio*100))
+	tbl.AddNote("the simulator retries collisions immediately, so its per-attempt collision rate exceeds the first-attempt Monte-Carlo figure; energy agreement is the validation target")
+
+	// Phase shares side by side.
+	shM := cs.Breakdown.Share()
+	tot := float64(sim.Ledger.TotalEnergy())
+	share := func(ph radio.Phase) float64 { return float64(sim.Ledger.ByPhase[ph]) / tot }
+	simActive := share(radio.PhaseBeacon) + share(radio.PhaseContention) +
+		share(radio.PhaseTransmit) + share(radio.PhaseAck) + share(radio.PhaseIFS)
+	ph := stats.NewTable("Phase shares: model vs simulation", "phase", "model", "simulation")
+	rows := []struct {
+		name  string
+		model float64
+		sim   radio.Phase
+	}{
+		{"beacon", shM[0], radio.PhaseBeacon},
+		{"contention", shM[1], radio.PhaseContention},
+		{"transmit", shM[2], radio.PhaseTransmit},
+		{"ack", shM[3], radio.PhaseAck},
+		{"ifs", shM[4], radio.PhaseIFS},
+	}
+	for _, r := range rows {
+		ph.AddRow(r.name, pct(r.model), pct(share(r.sim)/simActive))
+	}
+	return []*stats.Table{tbl, ph}, nil
+}

@@ -1,0 +1,218 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSuperframeSpecRoundTrip(t *testing.T) {
+	s := SuperframeSpec{
+		BeaconOrder:     6,
+		SuperframeOrder: 6,
+		FinalCAPSlot:    15,
+		BatteryLifeExt:  false,
+		PANCoordinator:  true,
+		AssocPermit:     true,
+	}
+	back := DecodeSuperframeSpec(s.Encode())
+	if back != s {
+		t.Fatalf("round trip: %+v -> %+v", s, back)
+	}
+}
+
+// Property: all field combinations of the superframe spec round-trip.
+func TestPropertySuperframeSpec(t *testing.T) {
+	f := func(bo, so, cap uint8, ble, pc, ap bool) bool {
+		s := SuperframeSpec{
+			BeaconOrder:     bo & 0xF,
+			SuperframeOrder: so & 0xF,
+			FinalCAPSlot:    cap & 0xF,
+			BatteryLifeExt:  ble,
+			PANCoordinator:  pc,
+			AssocPermit:     ap,
+		}
+		return DecodeSuperframeSpec(s.Encode()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeaconPayloadRoundTrip(t *testing.T) {
+	b := &BeaconPayload{
+		Superframe: SuperframeSpec{BeaconOrder: 6, SuperframeOrder: 6, FinalCAPSlot: 15, PANCoordinator: true},
+		GTSPermit:  true,
+		GTS: []GTSDescriptor{
+			{ShortAddr: 0x0010, StartSlot: 13, Length: 2},
+			{ShortAddr: 0x0020, StartSlot: 15, Length: 1},
+		},
+		GTSDirections: 0b01,
+		PendingShort:  []uint16{0x0042, 0x0043},
+		PendingExt:    []uint64{0x1122334455667788},
+		Extra:         []byte{0xAB},
+	}
+	enc, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBeaconPayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Superframe != b.Superframe {
+		t.Fatalf("superframe: %+v", back.Superframe)
+	}
+	if !back.GTSPermit || len(back.GTS) != 2 || back.GTS[0] != b.GTS[0] || back.GTS[1] != b.GTS[1] {
+		t.Fatalf("GTS: %+v", back.GTS)
+	}
+	if back.GTSDirections != 0b01 {
+		t.Fatalf("directions: %b", back.GTSDirections)
+	}
+	if len(back.PendingShort) != 2 || back.PendingShort[0] != 0x0042 {
+		t.Fatalf("pending short: %v", back.PendingShort)
+	}
+	if len(back.PendingExt) != 1 || back.PendingExt[0] != 0x1122334455667788 {
+		t.Fatalf("pending ext: %v", back.PendingExt)
+	}
+	if len(back.Extra) != 1 || back.Extra[0] != 0xAB {
+		t.Fatalf("extra: %v", back.Extra)
+	}
+}
+
+func TestBeaconPayloadMinimal(t *testing.T) {
+	b := &BeaconPayload{Superframe: SuperframeSpec{BeaconOrder: 6, SuperframeOrder: 6}}
+	enc, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// superframe(2) + gts spec(1) + pending spec(1) = 4 bytes minimum.
+	if len(enc) != 4 {
+		t.Fatalf("minimal beacon payload = %d bytes, want 4", len(enc))
+	}
+	back, err := DecodeBeaconPayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.GTS) != 0 || len(back.PendingShort) != 0 {
+		t.Fatal("minimal beacon must have no GTS/pending entries")
+	}
+}
+
+func TestBeaconLimits(t *testing.T) {
+	b := &BeaconPayload{GTS: make([]GTSDescriptor, 8)}
+	if _, err := b.Encode(); err != ErrTooManyGTS {
+		t.Fatalf("err = %v, want ErrTooManyGTS", err)
+	}
+	b = &BeaconPayload{PendingShort: make([]uint16, 8)}
+	if _, err := b.Encode(); err != ErrTooManyPending {
+		t.Fatalf("err = %v, want ErrTooManyPending", err)
+	}
+}
+
+func TestDecodeBeaconPayloadTruncated(t *testing.T) {
+	if _, err := DecodeBeaconPayload([]byte{1, 2}); err != ErrTooShort {
+		t.Fatalf("err = %v", err)
+	}
+	// GTS spec promising descriptors that are missing.
+	bad := []byte{0, 0, 0x03, 0}
+	if _, err := DecodeBeaconPayload(bad); err != ErrTooShort {
+		t.Fatalf("err = %v", err)
+	}
+	// Pending spec promising addresses that are missing.
+	bad = []byte{0, 0, 0x00, 0x12}
+	if _, err := DecodeBeaconPayload(bad); err != ErrTooShort {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewBeaconFullFrame(t *testing.T) {
+	payload := &BeaconPayload{
+		Superframe: SuperframeSpec{BeaconOrder: 6, SuperframeOrder: 6, FinalCAPSlot: 15, PANCoordinator: true},
+	}
+	f, err := NewBeacon(5, ShortAddress(0x1234, 0x0000), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.Control.Type != TypeBeacon {
+		t.Fatal("type")
+	}
+	if back.Header.Dst.Mode != AddrNone || back.Header.Src.Mode != AddrShort {
+		t.Fatal("beacon addressing must be source-only")
+	}
+	bp, err := DecodeBeaconPayload(back.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Superframe.BeaconOrder != 6 {
+		t.Fatal("beacon order lost")
+	}
+}
+
+func TestBeaconOnAirBytes(t *testing.T) {
+	// Minimal beacon: PHY 6 + MHR 7 (fc2+seq1+srcPAN2+src2) + payload 4 +
+	// FCS 2 = 19 bytes.
+	if got := BeaconOnAirBytes(0, 0, 0, 0); got != 19 {
+		t.Fatalf("minimal beacon = %d bytes, want 19", got)
+	}
+	// Must agree with an actually encoded beacon.
+	payload := &BeaconPayload{}
+	f, err := NewBeacon(0, ShortAddress(1, 0), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.OnAirBytes() != 19 {
+		t.Fatalf("encoded minimal beacon = %d bytes", f.OnAirBytes())
+	}
+	// With GTS and pending entries.
+	payload = &BeaconPayload{
+		GTS:          []GTSDescriptor{{ShortAddr: 1, StartSlot: 14, Length: 2}},
+		PendingShort: []uint16{0x10, 0x20},
+		Extra:        []byte{1, 2, 3},
+	}
+	f, err = NewBeacon(0, ShortAddress(1, 0), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BeaconOnAirBytes(1, 2, 0, 3)
+	if f.OnAirBytes() != want {
+		t.Fatalf("beacon with options = %d bytes, want %d", f.OnAirBytes(), want)
+	}
+}
+
+func TestCommandFrame(t *testing.T) {
+	f := NewCommand(3, ShortAddress(1, 0), ShortAddress(1, 9), CmdDataRequest, nil, true)
+	back, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.Control.Type != TypeCommand {
+		t.Fatal("type")
+	}
+	if len(back.Payload) != 1 || CommandID(back.Payload[0]) != CmdDataRequest {
+		t.Fatalf("payload: %v", back.Payload)
+	}
+}
+
+func TestCommandIDStrings(t *testing.T) {
+	ids := []CommandID{
+		CmdAssociationRequest, CmdAssociationResponse, CmdDisassociation,
+		CmdDataRequest, CmdPANIDConflict, CmdOrphan, CmdBeaconRequest,
+		CmdCoordinatorRealign, CmdGTSRequest, CommandID(0x77),
+	}
+	for _, id := range ids {
+		if id.String() == "" {
+			t.Fatalf("empty string for %d", uint8(id))
+		}
+	}
+}
+
+func TestMaxGTSDescriptorsIsSeven(t *testing.T) {
+	// The paper's §2 argument that GTS cannot serve hundreds of nodes.
+	if MaxGTSDescriptors != 7 {
+		t.Fatal("the standard caps GTS descriptors at 7")
+	}
+}

@@ -1,0 +1,59 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFCSKnownVector(t *testing.T) {
+	// The 802.15.4 FCS is the KERMIT CRC-16: check("123456789") = 0x2189.
+	if got := FCS([]byte("123456789")); got != 0x2189 {
+		t.Fatalf("FCS = %#04x, want 0x2189", got)
+	}
+}
+
+func TestFCSEmpty(t *testing.T) {
+	if got := FCS(nil); got != 0 {
+		t.Fatalf("FCS(nil) = %#04x, want 0", got)
+	}
+}
+
+func TestAppendCheckRoundTrip(t *testing.T) {
+	data := []byte{0x01, 0x88, 0x42, 0xAA, 0x55}
+	mpdu := AppendFCS(append([]byte(nil), data...))
+	if len(mpdu) != len(data)+2 {
+		t.Fatalf("AppendFCS length %d", len(mpdu))
+	}
+	if !CheckFCS(mpdu) {
+		t.Fatal("CheckFCS rejects a freshly generated FCS")
+	}
+}
+
+func TestCheckFCSDetectsCorruption(t *testing.T) {
+	mpdu := AppendFCS([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	for i := range mpdu {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), mpdu...)
+			bad[i] ^= 1 << uint(bit)
+			if CheckFCS(bad) {
+				t.Fatalf("single-bit corruption at byte %d bit %d undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestCheckFCSTooShort(t *testing.T) {
+	if CheckFCS(nil) || CheckFCS([]byte{1}) {
+		t.Fatal("short inputs must fail the check")
+	}
+}
+
+// Property: any payload round-trips through AppendFCS/CheckFCS.
+func TestPropertyFCSRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return CheckFCS(AppendFCS(append([]byte(nil), data...)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dense802154/internal/phy"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	cases := []Control{
+		{Type: TypeData, AckRequest: true, IntraPAN: true, DstMode: AddrShort, SrcMode: AddrShort},
+		{Type: TypeBeacon, SrcMode: AddrShort},
+		{Type: TypeAck, FramePending: true},
+		{Type: TypeCommand, Security: true, DstMode: AddrExtended, SrcMode: AddrExtended},
+	}
+	for _, c := range cases {
+		back := DecodeControl(c.Encode())
+		if back != c {
+			t.Errorf("round trip %+v -> %+v", c, back)
+		}
+	}
+}
+
+// Property: every syntactically valid control field round-trips.
+func TestPropertyControlRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		c := DecodeControl(raw)
+		if c.DstMode == 1 || c.SrcMode == 1 {
+			return true // reserved mode: not encodable, skip
+		}
+		return DecodeControl(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	dst := ShortAddress(0x1234, 0x0001)
+	src := ShortAddress(0x1234, 0x0042)
+	f := NewData(7, dst, src, []byte("hello sensor"), true)
+	mpdu := f.Encode()
+	back, err := Decode(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.Control.Type != TypeData || !back.Header.Control.AckRequest {
+		t.Fatalf("control = %+v", back.Header.Control)
+	}
+	if !back.Header.Control.IntraPAN {
+		t.Fatal("same-PAN data frame must set intra-PAN")
+	}
+	if back.Header.Seq != 7 {
+		t.Fatalf("seq = %d", back.Header.Seq)
+	}
+	if back.Header.Dst != dst {
+		t.Fatalf("dst = %+v", back.Header.Dst)
+	}
+	// Intra-PAN elides the source PAN; the decoder reconstructs it.
+	if back.Header.Src.PAN != 0x1234 || back.Header.Src.Short != 0x0042 {
+		t.Fatalf("src = %+v", back.Header.Src)
+	}
+	if string(back.Payload) != "hello sensor" {
+		t.Fatalf("payload = %q", back.Payload)
+	}
+}
+
+func TestIntraPANSavesTwoBytes(t *testing.T) {
+	dst := ShortAddress(0x1234, 1)
+	srcSame := ShortAddress(0x1234, 2)
+	srcOther := Address{Mode: AddrShort, PAN: 0x9999, Short: 2}
+	same := NewData(0, dst, srcSame, nil, false).Encode()
+	other := NewData(0, dst, srcOther, nil, false).Encode()
+	if len(other)-len(same) != 2 {
+		t.Fatalf("intra-PAN elision saves %d bytes, want 2", len(other)-len(same))
+	}
+}
+
+func TestExtendedAddressRoundTrip(t *testing.T) {
+	dst := ExtendedAddress(0xBEEF, 0x1122334455667788)
+	src := ExtendedAddress(0xCAFE, 0x8877665544332211)
+	f := NewData(200, dst, src, []byte{1, 2, 3}, false)
+	back, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.Dst.Extended != dst.Extended || back.Header.Src.Extended != src.Extended {
+		t.Fatalf("extended addresses: %+v / %+v", back.Header.Dst, back.Header.Src)
+	}
+	if back.Header.Src.PAN != 0xCAFE {
+		t.Fatal("cross-PAN source PAN must be preserved")
+	}
+}
+
+func TestAckFrame(t *testing.T) {
+	a := NewAck(99, true)
+	mpdu := a.Encode()
+	if len(mpdu) != AckMPDUBytes {
+		t.Fatalf("ACK MPDU = %d bytes, want %d", len(mpdu), AckMPDUBytes)
+	}
+	back, err := Decode(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.Control.Type != TypeAck || back.Header.Seq != 99 {
+		t.Fatalf("ack decode: %+v", back.Header)
+	}
+	if !back.Header.Control.FramePending {
+		t.Fatal("frame pending lost")
+	}
+}
+
+func TestDecodeRejectsBadFCS(t *testing.T) {
+	f := NewData(1, ShortAddress(1, 2), ShortAddress(1, 3), []byte{1}, false)
+	mpdu := f.Encode()
+	mpdu[len(mpdu)-1] ^= 0xFF
+	if _, err := Decode(mpdu); err != ErrBadFCS {
+		t.Fatalf("err = %v, want ErrBadFCS", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	if _, err := Decode([]byte{1, 2}); err != ErrTooShort {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+	// Control field promises addressing that is not present. Craft a body
+	// announcing a short dst with only 1 byte after the header, then a
+	// valid FCS so the length check is what trips.
+	ctl := Control{Type: TypeData, DstMode: AddrShort}
+	body := []byte{byte(ctl.Encode()), byte(ctl.Encode() >> 8), 0 /*seq*/, 0xAA}
+	mpdu := AppendFCS(body)
+	if _, err := Decode(mpdu); err != ErrTooShort {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestMHRLength(t *testing.T) {
+	cases := []struct {
+		dst, src AddrMode
+		intra    bool
+		want     int
+	}{
+		{AddrNone, AddrNone, false, 3},
+		{AddrShort, AddrNone, false, 7},
+		{AddrNone, AddrShort, false, 7},
+		{AddrShort, AddrShort, false, 11},
+		{AddrShort, AddrShort, true, 9},
+		{AddrExtended, AddrExtended, true, 21},
+		{AddrExtended, AddrExtended, false, 23},
+	}
+	for _, c := range cases {
+		if got := MHRLength(c.dst, c.src, c.intra); got != c.want {
+			t.Errorf("MHRLength(%d,%d,%v) = %d, want %d", c.dst, c.src, c.intra, got, c.want)
+		}
+	}
+}
+
+func TestMHRLengthMatchesEncoding(t *testing.T) {
+	combos := []struct {
+		dst, src Address
+		intra    bool
+	}{
+		{ShortAddress(5, 6), ShortAddress(5, 7), true},
+		{ShortAddress(5, 6), ShortAddress(9, 7), false},
+		{ExtendedAddress(5, 6), ShortAddress(5, 7), true},
+		{Address{}, ShortAddress(5, 7), false},
+		{ShortAddress(5, 6), Address{}, false},
+	}
+	for _, c := range combos {
+		h := Header{
+			Control: Control{Type: TypeData, IntraPAN: c.intra},
+			Dst:     c.dst,
+			Src:     c.src,
+		}
+		got := len(h.EncodeMHR())
+		want := MHRLength(c.dst.Mode, c.src.Mode, c.intra)
+		if got != want {
+			t.Errorf("encoded MHR %d bytes, MHRLength says %d (%+v)", got, want, c)
+		}
+	}
+}
+
+// Property: data frames round-trip for arbitrary payloads and addresses.
+func TestPropertyDataFrameRoundTrip(t *testing.T) {
+	f := func(seq uint8, dpan, dsh, span, ssh uint16, payload []byte, ack bool) bool {
+		if len(payload) > 100 {
+			payload = payload[:100]
+		}
+		fr := NewData(seq, ShortAddress(dpan, dsh), ShortAddress(span, ssh), payload, ack)
+		back, err := Decode(fr.Encode())
+		if err != nil {
+			return false
+		}
+		return back.Header.Seq == seq &&
+			back.Header.Dst.Short == dsh &&
+			back.Header.Src.Short == ssh &&
+			bytes.Equal(back.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeBeacon.String() != "beacon" || TypeData.String() != "data" ||
+		TypeAck.String() != "ack" || TypeCommand.String() != "command" {
+		t.Fatal("type strings")
+	}
+	if Type(7).String() == "" {
+		t.Fatal("unknown type string")
+	}
+}
+
+func TestAddrModeLength(t *testing.T) {
+	if AddrNone.Length() != 0 || AddrShort.Length() != 2 || AddrExtended.Length() != 8 {
+		t.Fatal("mode lengths")
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	// Paper: Lo = 13 bytes, max payload 123 bytes, 120-byte packet on air
+	// (13+120)·32µs = 4.256 ms; ACK = 11 bytes on air = 352 µs.
+	if PaperPacketBytes(120) != 133 {
+		t.Fatal("PaperPacketBytes(120)")
+	}
+	if got := PaperPacketDuration(120).Microseconds(); got != 4256 {
+		t.Fatalf("PaperPacketDuration(120) = %dµs", got)
+	}
+	if AckOnAirBytes != 11 {
+		t.Fatalf("AckOnAirBytes = %d", AckOnAirBytes)
+	}
+	if AckDuration.Microseconds() != 352 {
+		t.Fatalf("AckDuration = %v", AckDuration)
+	}
+	if ErrorProneBytes(120) != 129 {
+		t.Fatalf("ErrorProneBytes(120) = %d", ErrorProneBytes(120))
+	}
+	if MaxDataPayload != 123 {
+		t.Fatal("MaxDataPayload")
+	}
+}
+
+func TestStandardExactVsPaperAccounting(t *testing.T) {
+	// The paper's Lo=13 (short addressing, 4 address bytes, FCS folded in)
+	// differs from a standard-exact intra-PAN short/short data frame:
+	// PHY 6 + MHR 9 + FCS 2 = 17 bytes of overhead.
+	exact := DataOnAirBytes(120, AddrShort, AddrShort, true)
+	if exact != 137 {
+		t.Fatalf("standard-exact on-air bytes = %d, want 137", exact)
+	}
+	f := NewData(0, ShortAddress(1, 2), ShortAddress(1, 3), make([]byte, 120), true)
+	if f.OnAirBytes() != exact {
+		t.Fatalf("OnAirBytes %d != DataOnAirBytes %d", f.OnAirBytes(), exact)
+	}
+	if f.Duration() != phy.TxDuration(exact) {
+		t.Fatal("Duration mismatch")
+	}
+}

@@ -1,0 +1,130 @@
+// Package mac implements the IEEE 802.15.4-2003 medium access control
+// mechanics the paper models: the beacon-enabled superframe structure, the
+// slotted CSMA/CA algorithm (including the Battery Life Extension variant),
+// acknowledgment and inter-frame-spacing timing, and guaranteed time slot
+// bookkeeping.
+//
+// The CSMA/CA transaction is a pure, steppable state machine so the same
+// code drives both the fast Monte-Carlo contention characterizer
+// (internal/contention) and the full discrete-event simulator
+// (internal/netsim).
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"dense802154/internal/phy"
+)
+
+// MAC timing constants (802.15.4-2003 §7.4.2, 2450 MHz PHY).
+const (
+	// BaseSlotSymbols is aBaseSlotDuration: symbols per superframe slot
+	// at superframe order zero.
+	BaseSlotSymbols = 60
+	// NumSuperframeSlots is aNumSuperframeSlots.
+	NumSuperframeSlots = 16
+	// BaseSuperframeSymbols is aBaseSuperframeDuration = 960 symbols.
+	BaseSuperframeSymbols = BaseSlotSymbols * NumSuperframeSlots
+
+	// BaseSuperframeDuration is the minimum superframe/beacon interval,
+	// T_ib_min = 15.36 ms (eq. 12).
+	BaseSuperframeDuration = BaseSuperframeSymbols * phy.SymbolPeriod
+
+	// MaxBeaconOrder is the largest BO/SO that still produces beacons.
+	MaxBeaconOrder = 14
+
+	// AckWaitMin is t_ack−: the gap between the data frame and the
+	// acknowledgment (aTurnaroundTime, 192 µs).
+	AckWaitMin = 12 * phy.SymbolPeriod
+	// AckWaitMax is t_ack+: macAckWaitDuration, the longest time the
+	// transmitter waits for an acknowledgment (54 symbols, 864 µs).
+	AckWaitMax = 54 * phy.SymbolPeriod
+
+	// SIFS is the short inter-frame spacing (12 symbols).
+	SIFS = 12 * phy.SymbolPeriod
+	// LIFS is the long inter-frame spacing (40 symbols).
+	LIFS = 40 * phy.SymbolPeriod
+	// MaxSIFSFrameSize is aMaxSIFSFrameSize: MPDUs longer than this are
+	// followed by a LIFS.
+	MaxSIFSFrameSize = 18
+
+	// MinCAPSymbols is aMinCAPLength: the contention access period may
+	// not shrink below 440 symbols.
+	MinCAPSymbols = 440
+)
+
+// BeaconInterval reports T_ib = T_ib_min · 2^BO (eq. 12).
+func BeaconInterval(bo uint8) time.Duration {
+	return BaseSuperframeDuration << uint(bo)
+}
+
+// SuperframeDuration reports the active portion, T_ib_min · 2^SO.
+func SuperframeDuration(so uint8) time.Duration {
+	return BaseSuperframeDuration << uint(so)
+}
+
+// IFSFor reports the inter-frame space that must follow a frame whose MPDU
+// is mpduBytes long.
+func IFSFor(mpduBytes int) time.Duration {
+	if mpduBytes > MaxSIFSFrameSize {
+		return LIFS
+	}
+	return SIFS
+}
+
+// CSMAParams parameterizes the slotted CSMA/CA algorithm.
+type CSMAParams struct {
+	// MinBE and MaxBE bound the backoff exponent.
+	MinBE, MaxBE int
+	// MaxBackoffs is the number of busy channel assessments tolerated
+	// before the transaction aborts with a channel access failure: the
+	// attempt counter NB may reach MaxBackoffs; one more busy CCA fails.
+	MaxBackoffs int
+	// CW is the contention window: the number of consecutive clear CCAs
+	// required before transmission (2 in slotted mode).
+	CW int
+	// BatteryLifeExt caps the backoff exponent at 2 (the BLE mode the
+	// paper rejects for dense networks because of its collision rate).
+	BatteryLifeExt bool
+}
+
+// StandardParams returns the 802.15.4-2003 defaults: macMinBE = 3,
+// aMaxBE = 5, macMaxCSMABackoffs = 4, CW = 2.
+func StandardParams() CSMAParams {
+	return CSMAParams{MinBE: 3, MaxBE: 5, MaxBackoffs: 4, CW: 2}
+}
+
+// PaperParams returns the algorithm as the paper describes it in §2: the
+// first sense is delayed by rand[0, 2^BE-1], BE starts at 3 and "if the
+// latter has been incremented twice and the channel is not sensed to be
+// free, a transmission failure is notified" — i.e. three CCA attempts with
+// BE ∈ {3, 4, 5}.
+func PaperParams() CSMAParams {
+	return CSMAParams{MinBE: 3, MaxBE: 5, MaxBackoffs: 2, CW: 2}
+}
+
+// Validate reports whether the parameters are self-consistent.
+func (p CSMAParams) Validate() error {
+	if p.MinBE < 0 || p.MaxBE < p.MinBE {
+		return fmt.Errorf("mac: invalid BE range [%d,%d]", p.MinBE, p.MaxBE)
+	}
+	if p.MaxBackoffs < 0 {
+		return fmt.Errorf("mac: negative MaxBackoffs %d", p.MaxBackoffs)
+	}
+	if p.CW < 1 {
+		return fmt.Errorf("mac: contention window %d < 1", p.CW)
+	}
+	return nil
+}
+
+// effectiveBE applies the Battery Life Extension cap.
+func (p CSMAParams) effectiveBE(be int) int {
+	if p.BatteryLifeExt && be > 2 {
+		return 2
+	}
+	if be > p.MaxBE {
+		return p.MaxBE
+	}
+	return be
+}

@@ -1,0 +1,99 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"dense802154/internal/phy"
+)
+
+// Superframe is the beacon-mode timing structure of Fig. 2: an inter-beacon
+// period of 2^BO base durations whose first 2^SO base durations form the
+// active superframe, divided into 16 slots; slots after FinalCAPSlot form
+// the contention-free period.
+type Superframe struct {
+	BO, SO       uint8
+	FinalCAPSlot uint8
+}
+
+// NewSuperframe validates and builds a superframe structure with the whole
+// active period used as CAP.
+func NewSuperframe(bo, so uint8) (Superframe, error) {
+	s := Superframe{BO: bo, SO: so, FinalCAPSlot: NumSuperframeSlots - 1}
+	if err := s.Validate(); err != nil {
+		return Superframe{}, err
+	}
+	return s, nil
+}
+
+// Validate checks 0 ≤ SO ≤ BO ≤ 14 and the minimum CAP length.
+func (s Superframe) Validate() error {
+	if s.BO > MaxBeaconOrder {
+		return fmt.Errorf("mac: beacon order %d > %d", s.BO, MaxBeaconOrder)
+	}
+	if s.SO > s.BO {
+		return fmt.Errorf("mac: superframe order %d > beacon order %d", s.SO, s.BO)
+	}
+	if s.FinalCAPSlot >= NumSuperframeSlots {
+		return fmt.Errorf("mac: final CAP slot %d out of range", s.FinalCAPSlot)
+	}
+	capSymbols := int(s.FinalCAPSlot+1) * BaseSlotSymbols << uint(s.SO)
+	if capSymbols < MinCAPSymbols {
+		return fmt.Errorf("mac: CAP of %d symbols shorter than aMinCAPLength %d",
+			capSymbols, MinCAPSymbols)
+	}
+	return nil
+}
+
+// BeaconInterval reports T_ib.
+func (s Superframe) BeaconInterval() time.Duration { return BeaconInterval(s.BO) }
+
+// ActiveDuration reports the superframe duration (2^SO bases).
+func (s Superframe) ActiveDuration() time.Duration { return SuperframeDuration(s.SO) }
+
+// InactiveDuration reports the time the whole PAN may sleep.
+func (s Superframe) InactiveDuration() time.Duration {
+	return s.BeaconInterval() - s.ActiveDuration()
+}
+
+// SlotDuration reports one of the 16 superframe slots.
+func (s Superframe) SlotDuration() time.Duration {
+	return s.ActiveDuration() / NumSuperframeSlots
+}
+
+// CAPDuration reports the contention access period length (slots 0 through
+// FinalCAPSlot). The beacon itself occupies the start of slot 0; callers
+// subtract its on-air time when computing usable contention time.
+func (s Superframe) CAPDuration() time.Duration {
+	return time.Duration(s.FinalCAPSlot+1) * s.SlotDuration()
+}
+
+// CFPDuration reports the contention-free (GTS) period length.
+func (s Superframe) CFPDuration() time.Duration {
+	return s.ActiveDuration() - s.CAPDuration()
+}
+
+// BackoffSlots reports how many CSMA backoff periods fit in the CAP.
+func (s Superframe) BackoffSlots() int {
+	return int(s.CAPDuration() / phy.UnitBackoffPeriod)
+}
+
+// DutyCycle reports the active fraction of the inter-beacon period; with
+// SO = BO it is 1, and each BO increment beyond SO halves it (the "switched
+// off up to 15/16 of the time" of the paper refers to BO-SO settings).
+func (s Superframe) DutyCycle() float64 {
+	return float64(s.ActiveDuration()) / float64(s.BeaconInterval())
+}
+
+// String implements fmt.Stringer.
+func (s Superframe) String() string {
+	return fmt.Sprintf("superframe BO=%d SO=%d (Tib=%v, active=%v, CAP slots 0-%d)",
+		s.BO, s.SO, s.BeaconInterval(), s.ActiveDuration(), s.FinalCAPSlot)
+}
+
+// ChannelLoad reports the paper's network load λ: the aggregate on-air time
+// n nodes, each transmitting one packet of packetDuration per inter-beacon
+// period, impose relative to the beacon interval.
+func (s Superframe) ChannelLoad(n int, packetDuration time.Duration) float64 {
+	return float64(n) * float64(packetDuration) / float64(s.BeaconInterval())
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"dense802154/internal/channel"
+	"dense802154/internal/radio"
+)
+
+func TestAttemptsDistributionShape(t *testing.T) {
+	// The empirical Ptr(i) of eqs. (7)-(8): most packets succeed on the
+	// first transmission, with a decaying tail of retries.
+	r := Run(Config{Nodes: 100, Superframes: 20, Seed: 21})
+	dist := r.AttemptsDistribution()
+	if len(dist) != r.Config.NMax {
+		t.Fatalf("distribution length %d, want NMax=%d", len(dist), r.Config.NMax)
+	}
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+	if dist[0] < 0.5 {
+		t.Errorf("first-attempt success %v, want majority", dist[0])
+	}
+	// Weakly decreasing tail (allow noise on the last bins).
+	if dist[1] > dist[0] {
+		t.Errorf("retry mass %v exceeds first-attempt mass %v", dist[1], dist[0])
+	}
+	t.Logf("empirical Ptr(i): %v", dist)
+}
+
+func TestAttemptsDistributionRoughlyGeometric(t *testing.T) {
+	// Eq. (7): Ptr(i) = p^(i-1)(1-p). Estimate p from the first bin and
+	// check the second bin against the geometric prediction. The
+	// simulator's retry correlation (colliders retry in lockstep) makes
+	// the tail heavier, so the tolerance is loose.
+	r := Run(Config{Nodes: 100, Superframes: 30, Seed: 22})
+	dist := r.AttemptsDistribution()
+	p := 1 - dist[0]
+	if p <= 0 || p >= 1 {
+		t.Skipf("degenerate retry probability %v", p)
+	}
+	predicted2 := p * dist[0] / (1 - math.Pow(p, float64(len(dist)))) // renormalized
+	if dist[1] < predicted2/4 || dist[1] > predicted2*4 {
+		t.Errorf("Ptr(2) = %v vs geometric prediction %v: off by >4x", dist[1], predicted2)
+	}
+	t.Logf("retry probability p=%.3f, Ptr(2) empirical %.4f vs geometric %.4f", p, dist[1], predicted2)
+}
+
+func TestAttemptsDistributionEmpty(t *testing.T) {
+	var r Result
+	if r.AttemptsDistribution() != nil {
+		t.Fatal("empty result must yield nil distribution")
+	}
+}
+
+func TestLowPowerListenSavesEnergy(t *testing.T) {
+	scalable := radio.CC2420().WithScalableReceiver(0.5)
+	base := Run(Config{Nodes: 50, Superframes: 10, Seed: 23, Radio: scalable})
+	lp := Run(Config{Nodes: 50, Superframes: 10, Seed: 23, Radio: scalable, LowPowerListen: true})
+	if lp.AvgPowerPerNode >= base.AvgPowerPerNode {
+		t.Fatalf("low-power listen %v not below full listen %v",
+			lp.AvgPowerPerNode, base.AvgPowerPerNode)
+	}
+	// The saving must come from contention and ack phases only.
+	if lp.Ledger.ByPhase[radio.PhaseContention] >= base.Ledger.ByPhase[radio.PhaseContention] {
+		t.Error("contention energy did not shrink")
+	}
+	if lp.Ledger.ByPhase[radio.PhaseAck] >= base.Ledger.ByPhase[radio.PhaseAck] {
+		t.Error("ack energy did not shrink")
+	}
+	if lp.Ledger.ByPhase[radio.PhaseBeacon] != base.Ledger.ByPhase[radio.PhaseBeacon] {
+		t.Error("beacon energy must be untouched by the listen mode")
+	}
+	// Delivery statistics are identical: the listen mode changes power,
+	// not protocol behaviour.
+	if lp.PacketsDelivered != base.PacketsDelivered || lp.Collisions != base.Collisions {
+		t.Error("listen mode altered protocol behaviour")
+	}
+}
+
+func TestLowPowerListenOnStockRadioIsNeutral(t *testing.T) {
+	// The stock CC2420 has ListenPower == RXPower: engaging the flag must
+	// change nothing.
+	base := Run(Config{Nodes: 20, Superframes: 5, Seed: 24})
+	lp := Run(Config{Nodes: 20, Superframes: 5, Seed: 24, LowPowerListen: true})
+	if lp.AvgPowerPerNode != base.AvgPowerPerNode {
+		t.Fatalf("listen flag changed power on stock radio: %v vs %v",
+			lp.AvgPowerPerNode, base.AvgPowerPerNode)
+	}
+}
+
+func TestScalableReceiverSimVsModelDirection(t *testing.T) {
+	// End-to-end check of the §5 second improvement in the simulator: a
+	// scalable receiver at listen ×0.5 should save roughly 10-20% (the
+	// model says 15.8%).
+	dep := channel.UniformLoss{MinDB: 55, MaxDB: 95}
+	base := Run(Config{Nodes: 100, Superframes: 15, Seed: 25, Deployment: dep})
+	lp := Run(Config{Nodes: 100, Superframes: 15, Seed: 25, Deployment: dep,
+		Radio: radio.CC2420().WithScalableReceiver(0.5), LowPowerListen: true})
+	saving := 1 - float64(lp.AvgPowerPerNode)/float64(base.AvgPowerPerNode)
+	if saving < 0.05 || saving > 0.30 {
+		t.Fatalf("simulated scalable-receiver saving = %.1f%%, want ≈10-20%%", saving*100)
+	}
+	t.Logf("simulated scalable-receiver saving: %.1f%% (model: 15.8%%, paper: 15%%)", saving*100)
+}

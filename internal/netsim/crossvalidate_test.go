@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"testing"
+
+	"dense802154/internal/contention"
+)
+
+// TestContentionCrossValidation compares the two independent
+// implementations of slotted CSMA/CA — the slot-grid Monte-Carlo
+// characterizer (internal/contention) and the event-driven simulator
+// (this package) — at the case-study operating point. They share the
+// mac.Transaction state machine but differ in everything else: time
+// representation, medium model, arrival generation, retry handling.
+func TestContentionCrossValidation(t *testing.T) {
+	sim := Run(Config{Nodes: 100, Superframes: 30, Seed: 31})
+	mc := contention.Simulate(contention.Config{
+		TargetLoad:  0.433,
+		Superframes: 60,
+		Seed:        31,
+	})
+
+	// The simulator's statistics include retransmission chains (whose
+	// backoffs are correlated), so only loose agreement is expected;
+	// order-of-magnitude divergence would indicate a protocol bug.
+	if ratio := sim.Contention.NCCA / mc.MeanCCAs; ratio < 0.7 || ratio > 1.6 {
+		t.Errorf("NCCA: sim %.2f vs MC %.2f (ratio %.2f)", sim.Contention.NCCA, mc.MeanCCAs, ratio)
+	}
+	if ratio := sim.Contention.Tcont.Seconds() / mc.MeanContention.Seconds(); ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("Tcont: sim %v vs MC %v (ratio %.2f)", sim.Contention.Tcont, mc.MeanContention, ratio)
+	}
+	if sim.Contention.PrCF < mc.PrCF*0.5 || sim.Contention.PrCF > mc.PrCF*3 {
+		t.Errorf("PrCF: sim %.3f vs MC %.3f", sim.Contention.PrCF, mc.PrCF)
+	}
+	t.Logf("sim: %+v", sim.Contention)
+	t.Logf("mc:  Tcont=%v NCCA=%.2f PrCF=%.3f PrCol=%.3f",
+		mc.MeanContention, mc.MeanCCAs, mc.PrCF, mc.PrCol)
+}
+
+// TestTraceInvariants checks the Fig. 5 trace facility: states alternate
+// legally and timestamps are monotone.
+func TestTraceInvariants(t *testing.T) {
+	r := Run(Config{Nodes: 3, Superframes: 3, Seed: 32, TraceNode: 2})
+	if len(r.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	for i := 1; i < len(r.Trace); i++ {
+		if r.Trace[i].At < r.Trace[i-1].At {
+			t.Fatalf("trace timestamps not monotone at %d", i)
+		}
+	}
+	// The traced node must visit all four states over a superframe.
+	seen := map[string]bool{}
+	for _, ev := range r.Trace {
+		seen[ev.State.String()] = true
+	}
+	for _, want := range []string{"shutdown", "idle", "rx", "tx"} {
+		if !seen[want] {
+			t.Errorf("state %q never visited in trace", want)
+		}
+	}
+	// Tracing another node changes the trace; tracing none disables it.
+	r2 := Run(Config{Nodes: 3, Superframes: 3, Seed: 32})
+	if len(r2.Trace) != 0 {
+		t.Error("trace recorded without TraceNode")
+	}
+}

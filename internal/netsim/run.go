@@ -1,0 +1,387 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dense802154/internal/channel"
+	"dense802154/internal/contention"
+	"dense802154/internal/des"
+	"dense802154/internal/frame"
+	"dense802154/internal/mac"
+	"dense802154/internal/phy"
+	"dense802154/internal/radio"
+	"dense802154/internal/units"
+)
+
+// Run executes the simulation and aggregates the results.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	e := &env{
+		cfg:          cfg,
+		sim:          des.New(cfg.Seed),
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		med:          &medium{},
+		attemptsHist: make([]int, cfg.NMax),
+	}
+	tr, _ := cfg.Radio.Transition(radio.Idle, radio.RX)
+	e.tia = tr.Duration
+	tr, _ = cfg.Radio.Transition(radio.Shutdown, radio.Idle)
+	e.tsi = tr.Duration
+	e.tpacket = frame.PaperPacketDuration(cfg.PayloadBytes)
+	e.tbeacon = phy.TxDuration(cfg.BeaconBytes)
+	e.tack = frame.AckDuration
+
+	// Build the population.
+	for i := 0; i < cfg.Nodes; i++ {
+		loss := cfg.Deployment.Sample(e.rng)
+		level, _ := cfg.Radio.LevelIndexFor(cfg.TargetPRxDBm + loss)
+		prx := channel.ReceivedPowerDBm(cfg.Radio.TXLevels[level].DBm, loss)
+		per := phy.PacketErrorRateBytes(cfg.BER.BitErrorRate(prx), frame.ErrorProneBytes(cfg.PayloadBytes))
+		n := &node{
+			id:    i,
+			env:   e,
+			dev:   radio.NewDevice(cfg.Radio, radio.Shutdown),
+			rng:   rand.New(rand.NewSource(cfg.Seed + 100 + int64(i))),
+			loss:  loss,
+			level: level,
+			per:   per,
+		}
+		n.dev.SetTXLevelIndex(level)
+		n.dev.SetPhase(radio.PhaseSleep)
+		n.traced = cfg.TraceNode == i+1
+		e.nodes = append(e.nodes, n)
+	}
+
+	// Schedule the superframes.
+	tib := cfg.Superframe.BeaconInterval()
+	for k := 0; k < cfg.Superframes; k++ {
+		k := k
+		beaconAt := time.Duration(k) * tib
+		e.sim.At(beaconAt, func() { e.beacon(beaconAt) })
+	}
+	horizon := time.Duration(cfg.Superframes) * tib
+	e.sim.RunUntil(horizon)
+
+	// Close the books: every node sleeps out the horizon.
+	for _, n := range e.nodes {
+		n.advance(horizon)
+	}
+	return e.collect(horizon)
+}
+
+// beacon is the coordinator's superframe start: it occupies the medium and
+// triggers every node's per-superframe procedure.
+func (e *env) beacon(at time.Duration) {
+	e.med.prune(at)
+	e.med.add(&transmission{owner: -1, start: at, end: at + e.tbeacon})
+	for _, n := range e.nodes {
+		n.startSuperframe(at)
+	}
+}
+
+// startSuperframe runs one node's activation policy for the superframe
+// beginning with the beacon at tb.
+func (n *node) startSuperframe(tb time.Duration) {
+	e := n.env
+	if n.busy {
+		// A MAC exchange is straddling the beacon (a retry chain ran past
+		// the superframe edge); let it finish and skip this beacon.
+		if n.pkt != nil && !n.pkt.delivered {
+			n.pkt.superframes++
+		}
+		return
+	}
+	// Refresh the application packet.
+	if n.pkt != nil && !n.pkt.delivered {
+		n.pkt.superframes++
+		if n.pkt.superframes > e.cfg.MaxPacketSuperframes {
+			e.dropped++
+			n.pkt = nil
+		}
+	}
+	if n.pkt == nil || n.pkt.delivered {
+		if n.rng.Float64() < e.cfg.TransmitProb {
+			n.pkt = &packet{readyAt: tb, superframes: 1}
+			e.offered++
+		} else {
+			n.pkt = nil
+		}
+	}
+	if n.pkt == nil {
+		return
+	}
+
+	// The node wakes preemptively so the receiver is live at the beacon:
+	// shutdown→idle→RX completes exactly at tb. The beacon event fires at
+	// tb, so the wake lead is accounted retroactively: the watermark
+	// stands at some earlier sleep instant.
+	wakeAt := tb - e.tsi - e.tia
+	if wakeAt < n.last {
+		wakeAt = n.last // first superframe: no pre-history
+	}
+	n.advance(wakeAt)
+	n.dev.SetPhase(radio.PhaseBeacon)
+	n.transition(radio.Idle)
+	n.advance(tb) // residual idle until beacon start
+	n.transition(radio.RX)
+	n.advance(tb + e.tbeacon) // beacon reception
+	n.dev.SetPhase(radio.PhaseSleep)
+	n.transition(radio.Idle)
+	n.transition(radio.Shutdown)
+
+	// Draw the arrival instant (statistical multiplexing) and begin the
+	// contention procedure at the following slot boundary.
+	tibEnd := tb + e.cfg.Superframe.BeaconInterval()
+	margin := e.tpacket + 32*phy.UnitBackoffPeriod + e.tsi
+	earliest := tb + e.tbeacon + e.tsi
+	latest := tibEnd - margin
+	if latest <= earliest {
+		latest = earliest + phy.UnitBackoffPeriod
+	}
+	arrival := earliest + time.Duration(n.rng.Int63n(int64(latest-earliest)))
+	e.sim.At(arrival-e.tsi, func() { n.beginContention(arrival) })
+}
+
+// beginContention wakes the node and starts the CSMA/CA transaction.
+func (n *node) beginContention(arrival time.Duration) {
+	e := n.env
+	n.busy = true
+	n.advance(e.sim.Now())
+	n.dev.SetPhase(radio.PhaseContention)
+	n.transition(radio.Idle)
+	n.txn = mac.NewTransaction(e.cfg.CSMA, n.rng)
+	n.attempts = 0
+	n.contStart = arrival
+	// The first assessable boundary must leave room for the idle→RX
+	// turnaround preceding the CCA.
+	first := e.slotAfter(arrival + e.tia)
+	for !n.txn.CCADue() {
+		n.txn.AdvanceSlot()
+		first += phy.UnitBackoffPeriod
+	}
+	e.sim.At(first-e.tia, func() { n.doCCA(first) })
+}
+
+// doCCA performs one clear channel assessment at slot boundary b.
+func (n *node) doCCA(b time.Duration) {
+	e := n.env
+	n.advance(e.sim.Now()) // idle until RX turnaround begins
+	n.dev.SetPhase(radio.PhaseContention)
+	if e.cfg.LowPowerListen {
+		n.dev.SetLowPowerListen(true)
+	}
+	n.transition(radio.RX)
+	n.advance(b + phy.CCADuration)
+	e.med.prune(b)
+	busy := e.med.busyWindow(b, b+phy.CCADuration)
+	n.transition(radio.Idle)
+	n.dev.SetLowPowerListen(false)
+
+	switch n.txn.CCAResult(busy) {
+	case mac.OutcomeNextCCA:
+		next := b + phy.UnitBackoffPeriod
+		e.sim.At(next-e.tia, func() { n.doCCA(next) })
+	case mac.OutcomeTransmit:
+		start := b + phy.UnitBackoffPeriod
+		e.sim.At(start-e.tiaTx(), func() { n.transmit(start) })
+	case mac.OutcomeBackoff:
+		next := b + phy.UnitBackoffPeriod
+		for !n.txn.CCADue() {
+			n.txn.AdvanceSlot()
+			next += phy.UnitBackoffPeriod
+		}
+		e.sim.At(next-e.tia, func() { n.doCCA(next) })
+	case mac.OutcomeFailure:
+		// Channel access failure: report to the application, sleep.
+		e.accessFailures++
+		e.txnFailures++
+		e.txnTotal++
+		e.recordContention(n, b, false, false)
+		n.sleep()
+	}
+}
+
+// tiaTx is the idle→TX transition time.
+func (e *env) tiaTx() time.Duration {
+	tr, _ := e.cfg.Radio.Transition(radio.Idle, radio.TX)
+	return tr.Duration
+}
+
+// transmit sends the packet at the slot boundary.
+func (n *node) transmit(start time.Duration) {
+	e := n.env
+	n.advance(e.sim.Now())
+	n.dev.SetPhase(radio.PhaseTransmit)
+	n.transition(radio.TX)
+	end := start + e.tpacket
+	tx := &transmission{owner: n.id, start: start, end: end, node: n}
+	n.curTx = tx
+	e.med.prune(start)
+	e.med.add(tx)
+	e.transmissions++
+	n.attempts++
+	e.recordContention(n, start, true, false)
+	e.sim.At(end, func() { n.finishTransmit(end) })
+}
+
+// finishTransmit evaluates reception and handles the acknowledgment.
+func (n *node) finishTransmit(end time.Duration) {
+	e := n.env
+	n.advance(end)
+	collided := n.curTx.collided
+	corrupted := n.rng.Float64() < n.per
+	ok := !collided && !corrupted
+	if collided {
+		e.collisions++
+		e.contCol.Observe(true)
+	} else {
+		e.contCol.Observe(false)
+	}
+	if corrupted && !collided {
+		e.corrupted++
+	}
+
+	// TX→RX turnaround covers exactly t_ack−. The scalable receiver
+	// listens for the acknowledgment in its low-power mode.
+	n.dev.SetPhase(radio.PhaseAck)
+	if e.cfg.LowPowerListen {
+		n.dev.SetLowPowerListen(true)
+	}
+	n.transition(radio.RX)
+	ackStart := end + mac.AckWaitMin
+	if ok {
+		ackEnd := ackStart + e.tack
+		e.med.add(&transmission{owner: -2, start: ackStart, end: ackEnd})
+		e.sim.At(ackEnd, func() { n.ackReceived(ackEnd) })
+	} else {
+		deadline := end + mac.AckWaitMax
+		e.sim.At(deadline, func() { n.ackTimeout(deadline) })
+	}
+}
+
+// ackReceived completes a successful delivery.
+func (n *node) ackReceived(at time.Duration) {
+	e := n.env
+	n.advance(at)
+	e.txnTotal++
+	e.delivered++
+	n.pkt.delivered = true
+	e.delays = append(e.delays, (at - n.pkt.readyAt).Seconds())
+	if n.attempts >= 1 && n.attempts <= len(e.attemptsHist) {
+		e.attemptsHist[n.attempts-1]++
+	}
+	// Inter-frame spacing in idle, then sleep.
+	n.dev.SetPhase(radio.PhaseIFS)
+	n.transition(radio.Idle)
+	n.dev.SetLowPowerListen(false)
+	ifs := mac.IFSFor(frame.PaperPacketBytes(e.cfg.PayloadBytes) - phy.HeaderBytes)
+	n.advance(at + ifs)
+	n.sleep()
+}
+
+// ackTimeout handles a failed attempt: retry through a fresh contention or
+// give up for this superframe.
+func (n *node) ackTimeout(at time.Duration) {
+	e := n.env
+	n.advance(at)
+	n.transition(radio.Idle)
+	n.dev.SetLowPowerListen(false)
+	if n.attempts >= e.cfg.NMax {
+		e.txnFailures++
+		e.txnTotal++
+		n.sleep()
+		return
+	}
+	// Immediate retransmission attempt: new contention procedure.
+	n.dev.SetPhase(radio.PhaseContention)
+	n.txn = mac.NewTransaction(e.cfg.CSMA, n.rng)
+	n.contStart = at
+	first := e.slotAfter(at + e.tia)
+	for !n.txn.CCADue() {
+		n.txn.AdvanceSlot()
+		first += phy.UnitBackoffPeriod
+	}
+	e.sim.At(first-e.tia, func() { n.doCCA(first) })
+}
+
+// sleep returns the node to shutdown and closes the MAC exchange.
+func (n *node) sleep() {
+	n.busy = false
+	n.advance(n.env.sim.Now())
+	n.dev.SetPhase(radio.PhaseSleep)
+	if n.dev.State() != radio.Idle {
+		n.transition(radio.Idle)
+	}
+	n.transition(radio.Shutdown)
+}
+
+// recordContention logs one contention procedure's statistics.
+func (e *env) recordContention(n *node, endedAt time.Duration, granted, _ bool) {
+	e.contDur.Add((endedAt - n.contStart).Seconds())
+	e.contCCA.Add(float64(n.txn.CCAs()))
+	e.contCF.Observe(!granted)
+}
+
+// collect aggregates the run into a Result.
+func (e *env) collect(horizon time.Duration) Result {
+	var ledger radio.Ledger
+	for _, n := range e.nodes {
+		ledger.Merge(n.dev.Ledger())
+	}
+	r := Result{
+		Config:           e.cfg,
+		Ledger:           ledger,
+		PacketsOffered:   e.offered,
+		PacketsDelivered: e.delivered,
+		PacketsDropped:   e.dropped,
+		Transmissions:    e.transmissions,
+		Collisions:       e.collisions,
+		AccessFailures:   e.accessFailures,
+		CorruptedFrames:  e.corrupted,
+	}
+	r.PacketsExpired = e.offered - e.delivered - e.dropped
+	if e.offered > 0 {
+		r.DeliveryRatio = float64(e.delivered) / float64(e.offered)
+	}
+	if e.txnTotal > 0 {
+		r.PrFailPerAttempt = float64(e.txnFailures) / float64(e.txnTotal)
+	}
+	if len(e.delays) > 0 {
+		var acc float64
+		for _, d := range e.delays {
+			acc += d
+		}
+		r.MeanDelay = time.Duration(acc / float64(len(e.delays)) * float64(time.Second))
+		p95 := percentile(e.delays, 0.95)
+		r.P95Delay = time.Duration(p95 * float64(time.Second))
+	}
+	energyPerNode := float64(ledger.TotalEnergy()) / float64(e.cfg.Nodes)
+	r.AvgPowerPerNode = units.Power(energyPerNode / horizon.Seconds())
+	r.AttemptsHist = append([]int(nil), e.attemptsHist...)
+	r.Trace = e.trace
+	r.Contention = contention.Stats{
+		Tcont: time.Duration(e.contDur.Mean() * float64(time.Second)),
+		NCCA:  e.contCCA.Mean(),
+		PrCF:  e.contCF.Value(),
+		PrCol: e.contCol.Value(),
+	}
+	return r
+}
+
+func percentile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: n is small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

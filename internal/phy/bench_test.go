@@ -1,0 +1,153 @@
+package phy
+
+import (
+	"testing"
+
+	"dense802154/internal/fit"
+)
+
+func TestChipErrorProbMonotone(t *testing.T) {
+	b := NewBench(1)
+	prev := 1.0
+	for p := -110.0; p <= -70; p += 2 {
+		cp := b.ChipErrorProb(p)
+		if cp > prev {
+			t.Fatalf("chip error prob not monotone at %v dBm", p)
+		}
+		if cp < 0 || cp > 0.5 {
+			t.Fatalf("chip error prob %v out of range", cp)
+		}
+		prev = cp
+	}
+}
+
+func TestMeasureBERCleanChannel(t *testing.T) {
+	b := NewBench(2)
+	ber, bits := b.MeasureBER(-40, 100, 20000)
+	if ber != 0 {
+		t.Fatalf("BER at -40 dBm = %v, want 0", ber)
+	}
+	if bits != 20000 {
+		t.Fatalf("bits sent = %d, want full budget", bits)
+	}
+}
+
+func TestMeasureBERNoisyChannel(t *testing.T) {
+	b := NewBench(3)
+	ber, _ := b.MeasureBER(-100, 200, 2_000_000)
+	if ber <= 0 {
+		t.Fatal("BER at -100 dBm must be positive")
+	}
+	if ber > 0.5 {
+		t.Fatalf("BER = %v exceeds 0.5", ber)
+	}
+}
+
+func TestMeasureBERStopsAtTargetErrors(t *testing.T) {
+	b := NewBench(4)
+	_, bits := b.MeasureBER(-105, 10, 100_000_000)
+	if bits >= 100_000_000 {
+		t.Fatal("did not stop after reaching the error target")
+	}
+}
+
+func TestBenchCurveInFig4Window(t *testing.T) {
+	// The calibrated synthetic bench must land in the measured window of
+	// Fig. 4: BER between 1e-4 and 1e-1 near -94 dBm, and below 1e-3 near
+	// -85 dBm, with a steep negative slope in between.
+	b := NewBench(5)
+	berLow, _ := b.MeasureBER(-94, 500, 5_000_000)
+	berHigh, _ := b.MeasureBER(-85, 500, 5_000_000)
+	if berLow == 0 {
+		t.Fatal("no errors at -94 dBm; noise calibration off")
+	}
+	if berLow < 1e-5 || berLow > 1e-1 {
+		t.Errorf("BER(-94) = %v, outside Fig. 4 window", berLow)
+	}
+	if berHigh > 1e-3 {
+		t.Errorf("BER(-85) = %v, want < 1e-3", berHigh)
+	}
+	if berHigh >= berLow {
+		t.Error("BER must decrease with received power")
+	}
+}
+
+func TestSweepAndRegressionRecoverEq1Form(t *testing.T) {
+	// Regenerate the Fig. 4 pipeline: sweep, then exponential regression.
+	// The synthetic radio is not the CC2420, so we only require the same
+	// form: negative slope of comparable magnitude and a good fit.
+	b := NewBench(6)
+	points := b.Sweep(-96, -88, 1, 300, 2_000_000)
+	if len(points) != 9 {
+		t.Fatalf("sweep returned %d points, want 9", len(points))
+	}
+	var xs, ys []float64
+	for _, p := range points {
+		if p.BER > 0 {
+			xs = append(xs, p.PRxDBm)
+			ys = append(ys, p.BER)
+		}
+	}
+	if len(xs) < 4 {
+		t.Fatalf("only %d positive-BER points", len(xs))
+	}
+	e, err := fit.FitExponential(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.B >= -0.2 || e.B < -3 {
+		t.Errorf("regression slope B = %v, want strongly negative like eq. (1)", e.B)
+	}
+	if e.R2 < 0.9 {
+		t.Errorf("regression R2 = %v, want > 0.9", e.R2)
+	}
+	t.Logf("synthetic eq.(1): BER = %.3g·exp(%.3f·PRx), R2=%.3f (paper: 2.35e-30·exp(-0.659·PRx))", e.A, e.B, e.R2)
+}
+
+func TestMeasureBERZeroBudget(t *testing.T) {
+	b := NewBench(7)
+	ber, bits := b.MeasureBER(-90, 10, 0)
+	if ber != 0 || bits != 0 {
+		t.Fatalf("zero budget => (0,0), got (%v,%d)", ber, bits)
+	}
+}
+
+func TestCorruptChipsExtremes(t *testing.T) {
+	b := NewBench(8)
+	chips := ChipSequence(5)
+	if got := b.corruptChips(chips, 0); got != chips {
+		t.Fatal("p=0 must not corrupt")
+	}
+	flipped := b.corruptChips(chips, 1)
+	if HammingDistance(chips, flipped) != 32 {
+		t.Fatal("p=1 must flip all chips")
+	}
+}
+
+func TestAWGNAndBenchAgreeOnOrdering(t *testing.T) {
+	// The soft-decision bound must be optimistic (lower BER) relative to
+	// the hard-decision Monte-Carlo at equal noise figure.
+	bench := NewBench(9)
+	model := AWGNBER{NoiseFigureDB: bench.NoiseFigureDB}
+	for _, prx := range []float64{-96, -94, -92} {
+		mc, _ := bench.MeasureBER(prx, 300, 2_000_000)
+		soft := model.BitErrorRate(prx)
+		if mc > 0 && soft > mc*2 {
+			t.Errorf("soft-decision bound %v not below MC %v at %v dBm", soft, mc, prx)
+		}
+	}
+}
+
+func BenchmarkDespreadSymbol(b *testing.B) {
+	chips := ChipSequence(11) ^ 0x00010010
+	for i := 0; i < b.N; i++ {
+		DespreadSymbol(chips)
+	}
+}
+
+func BenchmarkMeasureBERPoint(b *testing.B) {
+	bench := NewBench(10)
+	for i := 0; i < b.N; i++ {
+		bench.MeasureBER(-92, 50, 100_000)
+	}
+}

@@ -1,0 +1,192 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimingConstants(t *testing.T) {
+	if SymbolPeriod != 16*time.Microsecond {
+		t.Error("symbol period must be 16µs")
+	}
+	if BytePeriod != 32*time.Microsecond {
+		t.Error("byte period must be 32µs")
+	}
+	if UnitBackoffPeriod != 320*time.Microsecond {
+		t.Error("backoff slot must be 320µs")
+	}
+	if TurnaroundTime != 192*time.Microsecond {
+		t.Error("turnaround must be 192µs")
+	}
+	if CCADuration != 128*time.Microsecond {
+		t.Error("CCA must be 128µs")
+	}
+	if BitRate != 250_000 {
+		t.Error("bit rate must be 250kb/s")
+	}
+	if SymbolRate != 62_500 {
+		t.Error("symbol rate must be 62.5k/s")
+	}
+	if HeaderBytes != 6 {
+		t.Error("PHY overhead must be 6 bytes")
+	}
+}
+
+func TestTxDuration(t *testing.T) {
+	// The paper: a maximal 123-byte payload packet takes about 4 ms.
+	// 123 payload + 13 overhead = 136 bytes => 4.352 ms.
+	d := TxDuration(136)
+	if d != 4352*time.Microsecond {
+		t.Fatalf("TxDuration(136) = %v", d)
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.15866},
+		{2, 0.02275},
+		{3, 0.00135},
+		{-1, 0.84134},
+	}
+	for _, c := range cases {
+		if got := Q(c.x); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("Q(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEq1MatchesPaperWindow(t *testing.T) {
+	// Fig. 4 spans roughly BER 1e-6..1e-2 between -94 and -85 dBm.
+	at94 := Eq1.BitErrorRate(-94)
+	at85 := Eq1.BitErrorRate(-85)
+	if at94 < 1e-4 || at94 > 1e-2 {
+		t.Errorf("Eq1(-94 dBm) = %v, outside Fig. 4 window", at94)
+	}
+	if at85 < 1e-7 || at85 > 1e-4 {
+		t.Errorf("Eq1(-85 dBm) = %v, outside Fig. 4 window", at85)
+	}
+	if at94 <= at85 {
+		t.Error("BER must fall as received power rises")
+	}
+}
+
+func TestExponentialBERClamping(t *testing.T) {
+	if got := Eq1.BitErrorRate(-200); got != 0.5 {
+		t.Errorf("very weak signal must clamp to 0.5, got %v", got)
+	}
+	if got := Eq1.BitErrorRate(0); got < 0 || got > 1e-15 {
+		t.Errorf("strong signal BER = %v, want ≈0", got)
+	}
+}
+
+// Property: ExponentialBER is monotone non-increasing in received power and
+// always within [0, 0.5].
+func TestPropertyEq1Monotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		lo := math.Min(math.Mod(a, 120)-60, math.Mod(b, 120)-60)
+		hi := math.Max(math.Mod(a, 120)-60, math.Mod(b, 120)-60)
+		bLo := Eq1.BitErrorRate(hi)
+		bHi := Eq1.BitErrorRate(lo)
+		return bLo <= bHi && bLo >= 0 && bHi <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAWGNBER(t *testing.T) {
+	m := AWGNBER{NoiseFigureDB: DefaultNoiseFigureDB}
+	// Must be monotone decreasing and span sensible values.
+	prev := 1.0
+	for p := -100.0; p <= -80; p += 1 {
+		ber := m.BitErrorRate(p)
+		if ber > prev {
+			t.Fatalf("AWGN BER not monotone at %v dBm", p)
+		}
+		prev = ber
+	}
+	if b := m.BitErrorRate(-110); b < 1e-3 {
+		t.Errorf("BER at -110 dBm = %v, want near 0.5", b)
+	}
+	if b := m.BitErrorRate(-70); b > 1e-9 {
+		t.Errorf("BER at -70 dBm = %v, want ≈0", b)
+	}
+}
+
+func TestPacketErrorRate(t *testing.T) {
+	if got := PacketErrorRate(0, 1000); got != 0 {
+		t.Errorf("PER(ber=0) = %v", got)
+	}
+	if got := PacketErrorRate(1, 10); got != 1 {
+		t.Errorf("PER(ber=1) = %v", got)
+	}
+	if got := PacketErrorRate(0.5, 0); got != 0 {
+		t.Errorf("PER(0 bits) = %v", got)
+	}
+	// Exact small case: 1-(1-0.1)^2 = 0.19.
+	if got, want := PacketErrorRate(0.1, 2), 0.19; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PER = %v, want %v", got, want)
+	}
+	// Stability for tiny BER: PER ≈ n·ber.
+	got := PacketErrorRate(1e-12, 1000)
+	if math.Abs(got-1e-9)/1e-9 > 1e-6 {
+		t.Errorf("tiny-BER PER = %v, want ≈1e-9", got)
+	}
+}
+
+func TestPacketErrorRateBytes(t *testing.T) {
+	ber := 1e-4
+	if got, want := PacketErrorRateBytes(ber, 129), PacketErrorRate(ber, 129*8); got != want {
+		t.Errorf("bytes variant mismatch: %v vs %v", got, want)
+	}
+}
+
+// Property: PER is monotone in both BER and packet length.
+func TestPropertyPERMonotone(t *testing.T) {
+	f := func(rawBer float64, n uint8, m uint8) bool {
+		ber := math.Abs(math.Mod(rawBer, 1))
+		n1, n2 := int(n)+1, int(n)+1+int(m)
+		p1 := PacketErrorRate(ber, n1)
+		p2 := PacketErrorRate(ber, n2)
+		return p2 >= p1-1e-15 && p1 >= 0 && p2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensitivityEq1(t *testing.T) {
+	// The CC2420 data sheet reports ≈ -95 dBm typical sensitivity; the
+	// regression of eq. (1) should place the 1% PER point within a few dB.
+	s := Sensitivity(Eq1)
+	if s > -85 || s < -105 {
+		t.Fatalf("Sensitivity(Eq1) = %v dBm, outside the plausible window", s)
+	}
+	t.Logf("Eq1 sensitivity: %.1f dBm", s)
+}
+
+func TestBandTable(t *testing.T) {
+	if Band2450.Channels != 16 {
+		t.Error("2450 MHz band must have 16 channels")
+	}
+	if Band915.Channels != 10 || Band868.Channels != 1 {
+		t.Error("sub-GHz channel counts")
+	}
+	if Band2450.ByteDuration() != 32*time.Microsecond {
+		t.Errorf("2450 byte duration = %v", Band2450.ByteDuration())
+	}
+	if Band868.ByteDuration() != 400*time.Microsecond {
+		t.Errorf("868 byte duration = %v", Band868.ByteDuration())
+	}
+	if Band2450.SymbolPeriodOf() != 16*time.Microsecond {
+		t.Errorf("2450 symbol period = %v", Band2450.SymbolPeriodOf())
+	}
+	for _, b := range []Band{Band868, Band915, Band2450} {
+		if b.String() == "" {
+			t.Error("empty band string")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package phy models the IEEE 802.15.4-2003 physical layer as used by the
+// paper: the 2450 MHz O-QPSK/DSSS PHY timing, the 32-chip pseudo-noise
+// spreading, bit-error-rate models (including the paper's measured
+// regression, eq. 1), and a chip-level Monte-Carlo test bench that mirrors
+// the wired-attenuator BER characterization of the paper's section 3.
+//
+// The 868/915 MHz BPSK PHYs are included for completeness; the paper (and
+// all experiments) use the 2450 MHz band, which offers 16 channels and the
+// highest data rate.
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// 2450 MHz O-QPSK PHY constants (IEEE 802.15.4-2003 §6.5).
+const (
+	// BitsPerSymbol is the number of data bits carried per O-QPSK symbol.
+	BitsPerSymbol = 4
+	// ChipsPerSymbol is the DSSS spreading factor.
+	ChipsPerSymbol = 32
+	// SymbolsPerByte is the number of symbols per octet.
+	SymbolsPerByte = 2
+	// ChipRate is the 2450 MHz chip rate in chip/s.
+	ChipRate = 2_000_000
+	// SymbolRate is the symbol rate in symbol/s (62.5 ksymbol/s).
+	SymbolRate = ChipRate / ChipsPerSymbol
+	// BitRate is the gross PHY bit rate in bit/s (250 kb/s).
+	BitRate = SymbolRate * BitsPerSymbol
+
+	// SymbolPeriod is the duration of one symbol (Ts = 16 µs).
+	SymbolPeriod = 16 * time.Microsecond
+	// BytePeriod is the duration of one octet on air (TB = 32 µs).
+	BytePeriod = SymbolsPerByte * SymbolPeriod
+
+	// UnitBackoffSymbols is aUnitBackoffPeriod in symbols.
+	UnitBackoffSymbols = 20
+	// UnitBackoffPeriod is the CSMA backoff slot duration (Tslot = 320 µs).
+	UnitBackoffPeriod = UnitBackoffSymbols * SymbolPeriod
+
+	// TurnaroundSymbols is aTurnaroundTime in symbols.
+	TurnaroundSymbols = 12
+	// TurnaroundTime is the RX/TX turnaround duration (192 µs).
+	TurnaroundTime = TurnaroundSymbols * SymbolPeriod
+
+	// CCASymbols is the CCA detection time in symbols (8 symbols).
+	CCASymbols = 8
+	// CCADuration is the duration of a single clear channel assessment.
+	CCADuration = CCASymbols * SymbolPeriod
+
+	// PreambleBytes is the synchronization preamble length.
+	PreambleBytes = 4
+	// SFDBytes is the start-of-frame delimiter length.
+	SFDBytes = 1
+	// PHRBytes is the PHY header (frame length) size.
+	PHRBytes = 1
+	// HeaderBytes is the total PHY-level overhead prepended to the MPDU.
+	HeaderBytes = PreambleBytes + SFDBytes + PHRBytes
+
+	// MaxPHYPacketSize is aMaxPHYPacketSize: the largest MPDU in octets.
+	MaxPHYPacketSize = 127
+)
+
+// TxDuration reports the on-air duration of totalBytes octets (including any
+// PHY header bytes the caller accounts for) at the 2450 MHz rate.
+func TxDuration(totalBytes int) time.Duration {
+	return time.Duration(totalBytes) * BytePeriod
+}
+
+// Band describes one of the three 802.15.4-2003 frequency bands.
+type Band struct {
+	Name          string
+	CenterMHz     float64 // first channel center frequency
+	Channels      int     // number of channels in the band
+	FirstChannel  int     // channel numbering offset in the standard
+	BitRate       float64 // gross PHY rate, bit/s
+	SymbolRate    float64 // symbol/s
+	ChipRate      float64 // chip/s
+	BitsPerSymbol int
+	Modulation    string
+}
+
+// The three bands of 802.15.4-2003. The paper's dense scenario uses
+// Band2450 (16 channels, 250 kb/s).
+var (
+	Band868 = Band{
+		Name: "868MHz", CenterMHz: 868.3, Channels: 1, FirstChannel: 0,
+		BitRate: 20_000, SymbolRate: 20_000, ChipRate: 300_000,
+		BitsPerSymbol: 1, Modulation: "BPSK",
+	}
+	Band915 = Band{
+		Name: "915MHz", CenterMHz: 906, Channels: 10, FirstChannel: 1,
+		BitRate: 40_000, SymbolRate: 40_000, ChipRate: 600_000,
+		BitsPerSymbol: 1, Modulation: "BPSK",
+	}
+	Band2450 = Band{
+		Name: "2450MHz", CenterMHz: 2405, Channels: 16, FirstChannel: 11,
+		BitRate: BitRate, SymbolRate: SymbolRate, ChipRate: ChipRate,
+		BitsPerSymbol: BitsPerSymbol, Modulation: "O-QPSK",
+	}
+)
+
+// SymbolPeriodOf reports the symbol duration of the band.
+func (b Band) SymbolPeriodOf() time.Duration {
+	return time.Duration(float64(time.Second) / b.SymbolRate)
+}
+
+// ByteDuration reports the on-air time of one octet in the band.
+func (b Band) ByteDuration() time.Duration {
+	return time.Duration(8 * float64(time.Second) / b.BitRate)
+}
+
+// String implements fmt.Stringer.
+func (b Band) String() string {
+	return fmt.Sprintf("%s (%s, %.0f kb/s, %d channels)",
+		b.Name, b.Modulation, b.BitRate/1000, b.Channels)
+}

@@ -1,0 +1,107 @@
+package phy
+
+import "math/bits"
+
+// The 2450 MHz PHY maps each 4-bit data symbol onto one of sixteen nearly
+// orthogonal 32-chip pseudo-noise sequences (IEEE 802.15.4-2003 Table 24).
+// A sequence is stored in a uint32 with chip index i at bit position i
+// (chip 0 in the least significant bit).
+//
+// Symbol 0 uses the base sequence below; symbols 1-7 are obtained by a
+// cyclic shift of four chips per symbol increment, and symbols 8-15 reuse
+// sequences 0-7 with every odd-indexed chip inverted (the "conjugated"
+// sequences that carry the fourth data bit on the Q chips).
+
+// baseChips is the symbol-0 sequence,
+// chips c0..c31 = 1101 1001 1100 0011 0101 0010 0010 1110.
+const baseChips uint32 = 0x744AC39B // bit i = chip i of the sequence above
+
+// oddChipMask selects the odd-indexed (Q-channel) chips.
+const oddChipMask uint32 = 0xAAAAAAAA
+
+// chipTable holds the sixteen spreading sequences, indexed by data symbol.
+var chipTable = buildChipTable()
+
+func buildChipTable() [16]uint32 {
+	var t [16]uint32
+	for s := 0; s < 8; s++ {
+		// A cyclic shift of the chip stream by 4·s positions: chip i of
+		// symbol s equals chip (i-4s mod 32) of symbol 0, i.e. a left
+		// rotation of the LSB-first packed word.
+		t[s] = bits.RotateLeft32(baseChips, 4*s)
+		t[s+8] = t[s] ^ oddChipMask
+	}
+	return t
+}
+
+// ChipSequence returns the 32-chip PN sequence of a data symbol (0..15).
+func ChipSequence(symbol byte) uint32 {
+	return chipTable[symbol&0xF]
+}
+
+// SpreadSymbol maps a 4-bit data symbol onto its chip sequence.
+func SpreadSymbol(symbol byte) uint32 { return ChipSequence(symbol) }
+
+// SpreadByte maps one octet onto its two chip sequences. The low nibble is
+// transmitted first (LSB-first symbol order, §6.5.2.2).
+func SpreadByte(b byte) (first, second uint32) {
+	return ChipSequence(b & 0xF), ChipSequence(b >> 4)
+}
+
+// SpreadBytes spreads a byte string into a chip-sequence stream, two
+// sequences per byte, low nibble first.
+func SpreadBytes(data []byte) []uint32 {
+	out := make([]uint32, 0, 2*len(data))
+	for _, b := range data {
+		lo, hi := SpreadByte(b)
+		out = append(out, lo, hi)
+	}
+	return out
+}
+
+// HammingDistance reports the number of differing chips between two packed
+// sequences.
+func HammingDistance(a, b uint32) int { return bits.OnesCount32(a ^ b) }
+
+// DespreadSymbol performs hard-decision despreading: it returns the data
+// symbol whose PN sequence is closest in Hamming distance to the received
+// chips, together with that distance. Ties resolve to the lowest symbol.
+func DespreadSymbol(chips uint32) (symbol byte, distance int) {
+	best := 33
+	var bestSym byte
+	for s := 0; s < 16; s++ {
+		d := bits.OnesCount32(chips ^ chipTable[s])
+		if d < best {
+			best = d
+			bestSym = byte(s)
+		}
+	}
+	return bestSym, best
+}
+
+// DespreadBytes reconstructs a byte string from a chip-sequence stream as
+// produced by SpreadBytes. The stream length must be even.
+func DespreadBytes(chips []uint32) []byte {
+	out := make([]byte, 0, len(chips)/2)
+	for i := 0; i+1 < len(chips); i += 2 {
+		lo, _ := DespreadSymbol(chips[i])
+		hi, _ := DespreadSymbol(chips[i+1])
+		out = append(out, lo|hi<<4)
+	}
+	return out
+}
+
+// MinCodeDistance reports the minimum pairwise Hamming distance of the
+// sixteen-sequence code family. Hard-decision despreading corrects up to
+// (MinCodeDistance()-1)/2 chip errors per symbol.
+func MinCodeDistance() int {
+	min := 32
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			if d := HammingDistance(chipTable[i], chipTable[j]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,146 @@
+package phy
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseSequenceMatchesStandard(t *testing.T) {
+	// IEEE 802.15.4-2003 Table 24, symbol 0:
+	// 1101 1001 1100 0011 0101 0010 0010 1110 (chip 0 first).
+	want := "11011001110000110101001000101110"
+	seq := ChipSequence(0)
+	for i := 0; i < 32; i++ {
+		got := byte('0' + (seq>>uint(i))&1)
+		if got != want[i] {
+			t.Fatalf("chip %d = %c, want %c", i, got, want[i])
+		}
+	}
+}
+
+func TestSymbol1IsCyclicShift(t *testing.T) {
+	s0, s1 := ChipSequence(0), ChipSequence(1)
+	for i := 0; i < 32; i++ {
+		want := (s0 >> uint((i+28)%32)) & 1 // chip i of s1 = chip i-4 of s0
+		got := (s1 >> uint(i)) & 1
+		if got != want {
+			t.Fatalf("symbol 1 chip %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSymbol8IsConjugate(t *testing.T) {
+	// Symbols 8-15 invert every odd-indexed chip of symbols 0-7.
+	for s := 0; s < 8; s++ {
+		a, b := ChipSequence(byte(s)), ChipSequence(byte(s+8))
+		if a^b != 0xAAAAAAAA {
+			t.Fatalf("symbol %d vs %d differ in %032b, want odd chips only", s, s+8, a^b)
+		}
+	}
+}
+
+func TestAllSequencesDistinctAndBalanced(t *testing.T) {
+	seen := map[uint32]bool{}
+	for s := 0; s < 16; s++ {
+		seq := ChipSequence(byte(s))
+		if seen[seq] {
+			t.Fatalf("duplicate sequence for symbol %d", s)
+		}
+		seen[seq] = true
+		if w := bits.OnesCount32(seq); w != 16 {
+			t.Fatalf("symbol %d weight = %d, want 16 (balanced)", s, w)
+		}
+	}
+}
+
+func TestMinCodeDistance(t *testing.T) {
+	d := MinCodeDistance()
+	if d < 10 || d > 20 {
+		t.Fatalf("MinCodeDistance = %d, outside the plausible 802.15.4 range", d)
+	}
+	t.Logf("min pairwise chip distance: %d (corrects %d chip errors)", d, (d-1)/2)
+}
+
+func TestDespreadCleanRoundTrip(t *testing.T) {
+	for s := 0; s < 16; s++ {
+		dec, dist := DespreadSymbol(ChipSequence(byte(s)))
+		if dec != byte(s) || dist != 0 {
+			t.Fatalf("despread(symbol %d) = (%d, %d)", s, dec, dist)
+		}
+	}
+}
+
+func TestDespreadCorrectsGuaranteedErrors(t *testing.T) {
+	// Hard-decision decoding corrects up to (dmin-1)/2 chip errors.
+	dmin := MinCodeDistance()
+	correctable := (dmin - 1) / 2
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		s := byte(rng.Intn(16))
+		chips := ChipSequence(s)
+		// Flip exactly `correctable` distinct chips.
+		perm := rng.Perm(32)
+		for i := 0; i < correctable; i++ {
+			chips ^= 1 << uint(perm[i])
+		}
+		dec, _ := DespreadSymbol(chips)
+		if dec != s {
+			t.Fatalf("symbol %d not recovered after %d chip errors", s, correctable)
+		}
+	}
+}
+
+func TestSpreadByteNibbleOrder(t *testing.T) {
+	lo, hi := SpreadByte(0xA3)
+	if lo != ChipSequence(0x3) {
+		t.Fatal("low nibble must be transmitted first")
+	}
+	if hi != ChipSequence(0xA) {
+		t.Fatal("high nibble second")
+	}
+}
+
+func TestSpreadDespreadBytes(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0xA5, 0x5A, 0x13, 0x7E}
+	chips := SpreadBytes(data)
+	if len(chips) != 2*len(data) {
+		t.Fatalf("chip stream length %d, want %d", len(chips), 2*len(data))
+	}
+	back := DespreadBytes(chips)
+	if string(back) != string(data) {
+		t.Fatalf("round trip: got % x, want % x", back, data)
+	}
+}
+
+// Property: spread/despread is the identity on arbitrary byte strings.
+func TestPropertySpreadRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		back := DespreadBytes(SpreadBytes(data))
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	if d := HammingDistance(0, 0); d != 0 {
+		t.Fatalf("d(0,0) = %d", d)
+	}
+	if d := HammingDistance(0, 0xFFFFFFFF); d != 32 {
+		t.Fatalf("d(0,ones) = %d", d)
+	}
+	if d := HammingDistance(0b1010, 0b0101); d != 4 {
+		t.Fatalf("d = %d, want 4", d)
+	}
+}

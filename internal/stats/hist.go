@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi). Observations
+// outside the range are counted in the under/overflow bins.
+type Histogram struct {
+	Lo, Hi    float64
+	bins      []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram builds a histogram with n equal-width bins covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.bins) { // guard against float rounding at the edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// Total reports the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin reports the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// NumBins reports the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Underflow reports the count of observations below Lo.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow reports the count of observations at or above Hi.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// BinCenter reports the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Quantile returns an approximate q-th quantile (0..1) from the binned data,
+// using bin centers. Out-of-range mass is clamped to the range edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	cum := float64(h.underflow)
+	if cum >= target {
+		return h.Lo
+	}
+	for i, c := range h.bins {
+		cum += float64(c)
+		if cum >= target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.Hi
+}
+
+// String renders a small ASCII sketch of the histogram, mainly for debugging
+// and example programs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.bins {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "%12.4g |%-40s| %d\n", h.BinCenter(i), bar, c)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Demo", "x", "y")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("a", "b")
+	tb.AddNote("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"Demo", "x", "y", "2.5", "a", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow(`quote"inside`, 3)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"with,comma"`) {
+		t.Fatalf("comma not quoted: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"quote""inside"`) {
+		t.Fatalf("quote not escaped: %q", lines[2])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Fig X", "col")
+	tb.AddRow(1)
+	tb.AddNote("n")
+	md := tb.Markdown()
+	for _, want := range []string{"### Fig X", "| col |", "| --- |", "| 1 |", "*note: n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.000211)
+	if got := tb.Rows[0][0]; got != "0.000211" {
+		t.Fatalf("float rendered as %q", got)
+	}
+	tb.AddRow(float32(2))
+	if got := tb.Rows[1][0]; got != "2" {
+		t.Fatalf("float32 rendered as %q", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Label = "load 0.42"
+	s.Append(1, 10)
+	s.Append(2, 5)
+	s.Append(3, 8)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	x, y, ok := s.MinY()
+	if !ok || x != 2 || y != 5 {
+		t.Fatalf("MinY = (%v,%v,%v), want (2,5,true)", x, y, ok)
+	}
+	var empty Series
+	if _, _, ok := empty.MinY(); ok {
+		t.Fatal("MinY on empty series must report !ok")
+	}
+}

@@ -1,0 +1,138 @@
+// Package units provides the physical quantities used throughout the
+// library: power, energy and decibel ratios, together with the conversions
+// between logarithmic (dBm, dB) and linear (watt, joule) representations.
+//
+// Conventions:
+//   - Power is expressed in watts, Energy in joules.
+//   - Received/transmitted signal powers are usually carried around in dBm,
+//     as in the paper (path loss is a plain dB value subtracted from a dBm
+//     transmit power).
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Power is an instantaneous power in watts.
+type Power float64
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common power scales.
+const (
+	Watt      Power = 1
+	MilliWatt Power = 1e-3
+	MicroWatt Power = 1e-6
+	NanoWatt  Power = 1e-9
+)
+
+// Common energy scales.
+const (
+	Joule      Energy = 1
+	MilliJoule Energy = 1e-3
+	MicroJoule Energy = 1e-6
+	NanoJoule  Energy = 1e-9
+	PicoJoule  Energy = 1e-12
+)
+
+// DBmToPower converts a power level in dBm to watts.
+func DBmToPower(dbm float64) Power {
+	return Power(1e-3 * math.Pow(10, dbm/10))
+}
+
+// PowerToDBm converts a power in watts to dBm.
+// It returns -Inf for non-positive powers.
+func PowerToDBm(p Power) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(float64(p)/1e-3)
+}
+
+// DBToLinear converts a dB ratio to a linear ratio.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear ratio to dB.
+// It returns -Inf for non-positive ratios.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// MilliWatts reports the power in milliwatts.
+func (p Power) MilliWatts() float64 { return float64(p) * 1e3 }
+
+// MicroWatts reports the power in microwatts.
+func (p Power) MicroWatts() float64 { return float64(p) * 1e6 }
+
+// NanoWatts reports the power in nanowatts.
+func (p Power) NanoWatts() float64 { return float64(p) * 1e9 }
+
+// DBm reports the power in dBm (-Inf for non-positive powers).
+func (p Power) DBm() float64 { return PowerToDBm(p) }
+
+// String renders the power with an automatically chosen SI prefix.
+func (p Power) String() string {
+	abs := math.Abs(float64(p))
+	switch {
+	case abs == 0:
+		return "0 W"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.4g nW", float64(p)*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.4g µW", float64(p)*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.4g mW", float64(p)*1e3)
+	default:
+		return fmt.Sprintf("%.4g W", float64(p))
+	}
+}
+
+// MicroJoules reports the energy in microjoules.
+func (e Energy) MicroJoules() float64 { return float64(e) * 1e6 }
+
+// NanoJoules reports the energy in nanojoules.
+func (e Energy) NanoJoules() float64 { return float64(e) * 1e9 }
+
+// String renders the energy with an automatically chosen SI prefix.
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs == 0:
+		return "0 J"
+	case abs < 1e-9:
+		return fmt.Sprintf("%.4g pJ", float64(e)*1e12)
+	case abs < 1e-6:
+		return fmt.Sprintf("%.4g nJ", float64(e)*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.4g µJ", float64(e)*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.4g mJ", float64(e)*1e3)
+	default:
+		return fmt.Sprintf("%.4g J", float64(e))
+	}
+}
+
+// Times returns the energy dissipated by power p applied for duration d.
+func (p Power) Times(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// Over returns the average power of energy e spread over duration d.
+// It returns 0 for non-positive durations.
+func (e Energy) Over(d time.Duration) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(float64(e) / d.Seconds())
+}
+
+// FromCurrent returns the power drawn by a current (amperes) at a supply
+// voltage (volts), as used when translating the CC2420 data-sheet and
+// measurement currents of Fig. 3 into powers.
+func FromCurrent(amps, volts float64) Power { return Power(amps * volts) }

@@ -1,0 +1,169 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDBmToPowerKnownValues(t *testing.T) {
+	cases := []struct {
+		dbm   float64
+		watts float64
+	}{
+		{0, 1e-3},
+		{-30, 1e-6},
+		{30, 1},
+		{-10, 1e-4},
+		{10, 1e-2},
+		{-25, 3.1623e-6},
+		{-94, 3.9811e-13},
+	}
+	for _, c := range cases {
+		got := float64(DBmToPower(c.dbm))
+		if !almostEqual(got, c.watts, 1e-4) {
+			t.Errorf("DBmToPower(%v) = %v, want %v", c.dbm, got, c.watts)
+		}
+	}
+}
+
+func TestPowerToDBmRoundTrip(t *testing.T) {
+	f := func(dbm float64) bool {
+		// Restrict to a physically plausible range to avoid overflow.
+		d := math.Mod(dbm, 200)
+		p := DBmToPower(d)
+		back := PowerToDBm(p)
+		return almostEqual(back, d, 1e-9) || math.Abs(back-d) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerToDBmNonPositive(t *testing.T) {
+	if got := PowerToDBm(0); !math.IsInf(got, -1) {
+		t.Errorf("PowerToDBm(0) = %v, want -Inf", got)
+	}
+	if got := PowerToDBm(-1); !math.IsInf(got, -1) {
+		t.Errorf("PowerToDBm(-1) = %v, want -Inf", got)
+	}
+}
+
+func TestDBLinearRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		d := math.Mod(db, 300)
+		return almostEqual(LinearToDB(DBToLinear(d)), d, 1e-9) ||
+			math.Abs(LinearToDB(DBToLinear(d))-d) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearToDBNonPositive(t *testing.T) {
+	if got := LinearToDB(0); !math.IsInf(got, -1) {
+		t.Errorf("LinearToDB(0) = %v, want -Inf", got)
+	}
+}
+
+func TestEnergyPowerDuality(t *testing.T) {
+	p := Power(35.28e-3) // CC2420 RX power
+	d := 194 * time.Microsecond
+	e := p.Times(d)
+	if !almostEqual(float64(e), 35.28e-3*194e-6, 1e-12) {
+		t.Fatalf("Times: got %v", e)
+	}
+	back := e.Over(d)
+	if !almostEqual(float64(back), float64(p), 1e-12) {
+		t.Fatalf("Over: got %v, want %v", back, p)
+	}
+}
+
+func TestEnergyOverZeroDuration(t *testing.T) {
+	if got := Energy(1).Over(0); got != 0 {
+		t.Errorf("Over(0) = %v, want 0", got)
+	}
+	if got := Energy(1).Over(-time.Second); got != 0 {
+		t.Errorf("Over(-1s) = %v, want 0", got)
+	}
+}
+
+func TestFromCurrent(t *testing.T) {
+	// Fig. 3: RX draws 19.6 mA at 1.8 V = 35.28 mW.
+	p := FromCurrent(19.6e-3, 1.8)
+	if !almostEqual(float64(p), 35.28e-3, 1e-9) {
+		t.Fatalf("FromCurrent = %v, want 35.28mW", p)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    Power
+		want string
+	}{
+		{0, "0 W"},
+		{144 * NanoWatt, "144 nW"},
+		{712 * MicroWatt, "712 µW"},
+		{35.28 * MilliWatt, "35.28 mW"},
+		{2 * Watt, "2 W"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("(%g).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{0, "0 J"},
+		{691 * PicoJoule, "691 pJ"},
+		{691 * NanoJoule, "691 nJ"},
+		{6.63 * MicroJoule, "6.63 µJ"},
+		{2 * MilliJoule, "2 mJ"},
+		{3 * Joule, "3 J"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("(%g).String() = %q, want %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestDBmMethodMatchesFunction(t *testing.T) {
+	p := DBmToPower(-15)
+	if !almostEqual(p.DBm(), -15, 1e-9) {
+		t.Fatalf("DBm() = %v, want -15", p.DBm())
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	p := Power(1e-3)
+	if !almostEqual(p.MilliWatts(), 1, 1e-12) {
+		t.Error("MilliWatts")
+	}
+	if !almostEqual(p.MicroWatts(), 1000, 1e-12) {
+		t.Error("MicroWatts")
+	}
+	if !almostEqual(p.NanoWatts(), 1e6, 1e-12) {
+		t.Error("NanoWatts")
+	}
+	e := Energy(1e-6)
+	if !almostEqual(e.MicroJoules(), 1, 1e-12) {
+		t.Error("MicroJoules")
+	}
+	if !almostEqual(e.NanoJoules(), 1000, 1e-12) {
+		t.Error("NanoJoules")
+	}
+}
