@@ -1,6 +1,8 @@
 package dense802154
 
 import (
+	"context"
+
 	"dense802154/internal/contention"
 	"dense802154/internal/core"
 	"dense802154/internal/experiments"
@@ -55,6 +57,36 @@ func DefaultParams() Params { return core.DefaultParams() }
 
 // Evaluate runs the analytical model (eqs. 3-14).
 func Evaluate(p Params) (Metrics, error) { return core.Evaluate(p) }
+
+// EvaluateBatch evaluates many parameter sets concurrently on a worker pool
+// and returns the metrics in input order. The pool is sized to the largest
+// Params.Workers in the batch; if any element leaves Workers unset (≤ 0)
+// the pool defaults to runtime.NumCPU(). Setting Workers = 1 on every
+// element forces serial evaluation — the escape hatch for contention
+// sources that are not safe for concurrent use.
+//
+// The batch is deterministic — identical to a serial loop of Evaluate at
+// any parallelism — and a canceled ctx stops it promptly with ctx.Err().
+// Contention statistics shared between elements are simulated once for the
+// whole batch (see ContentionCacheReset to bound long-lived cache growth).
+func EvaluateBatch(ctx context.Context, ps []Params) ([]Metrics, error) {
+	workers := 1
+	for _, p := range ps {
+		if p.Workers < 1 {
+			workers = 0 // an element asks for the NumCPU default
+			break
+		}
+		if p.Workers > workers {
+			workers = p.Workers
+		}
+	}
+	return core.EvaluateBatch(ctx, workers, ps)
+}
+
+// ContentionCacheReset drops the process-wide memoized Monte-Carlo
+// contention cache. Long-running services sweeping unbounded parameter
+// spaces should call it between sweeps to bound memory.
+func ContentionCacheReset() { contention.ResetCache() }
 
 // OptimalTXLevel picks the energy-optimal transmit level for p's path loss
 // (channel-inversion link adaptation).

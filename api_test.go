@@ -1,6 +1,9 @@
 package dense802154_test
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -21,6 +24,38 @@ func TestFacadeEvaluate(t *testing.T) {
 	if uw < 100 || uw > 400 {
 		t.Fatalf("mid-loss node power = %v µW, implausible", uw)
 	}
+}
+
+func TestFacadeEvaluateBatch(t *testing.T) {
+	var ps []dense802154.Params
+	for _, loss := range []float64{60, 75, 90} {
+		p := dense802154.DefaultParams()
+		p.PathLossDB = loss
+		ps = append(ps, p)
+	}
+	got, err := dense802154.EvaluateBatch(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("batch returned %d metrics for %d params", len(got), len(ps))
+	}
+	for i, p := range ps {
+		want, err := dense802154.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("batch[%d] differs from serial Evaluate", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dense802154.EvaluateBatch(ctx, ps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch: err = %v", err)
+	}
+	dense802154.ContentionCacheReset()
 }
 
 func TestFacadeLinkAdaptation(t *testing.T) {

@@ -112,6 +112,64 @@ func BenchmarkImprovements(b *testing.B) {
 	b.ReportMetric(res.Rows[1].Reduction*100, "%scalable(paper:15)")
 }
 
+// ---- serial-vs-parallel engine benchmarks ----
+//
+// The *Serial/*Parallel pairs run the same workload at Workers=1 and
+// Workers=NumCPU; results are bit-identical (see the determinism tests),
+// only the wall-clock differs. Seeds vary per iteration and per variant so
+// the shared contention cache never serves a previously simulated point.
+
+// benchCaseStudyWorkers integrates the §5 case study with a fresh
+// Monte-Carlo contention source per iteration.
+func benchCaseStudyWorkers(b *testing.B, workers int) {
+	b.Helper()
+	cfg := dense802154.DefaultCaseStudy()
+	for i := 0; i < b.N; i++ {
+		p := dense802154.DefaultParams()
+		p.Workers = workers
+		p.Contention = contention.NewMCSource(contention.Config{
+			Superframes: 64,
+			Seed:        int64(1_000_000*(workers+1) + i),
+			Workers:     workers,
+		})
+		if _, err := dense802154.RunCaseStudy(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaseStudySerial is the single-goroutine baseline of the §5
+// case-study integration.
+func BenchmarkCaseStudySerial(b *testing.B) { benchCaseStudyWorkers(b, 1) }
+
+// BenchmarkCaseStudyParallel runs the same integration on NumCPU workers
+// (grid points and Monte-Carlo shards both parallel).
+func BenchmarkCaseStudyParallel(b *testing.B) { benchCaseStudyWorkers(b, 0) }
+
+// benchFig6Workers rebuilds the four Fig. 6 curve families.
+func benchFig6Workers(b *testing.B, workers int) {
+	b.Helper()
+	loads := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	for i := 0; i < b.N; i++ {
+		base := contention.Config{
+			Superframes: 32,
+			Seed:        int64(2_000_000*(workers+1) + i),
+			Workers:     workers,
+		}
+		for _, L := range []int{10, 20, 50, 100} {
+			contention.BuildCurve(L, loads, base)
+		}
+	}
+}
+
+// BenchmarkFig6ContentionSerial is the single-goroutine baseline of the
+// Fig. 6 contention characterization.
+func BenchmarkFig6ContentionSerial(b *testing.B) { benchFig6Workers(b, 1) }
+
+// BenchmarkFig6ContentionParallel builds the same curves on NumCPU workers
+// (load points and superframe shards both parallel).
+func BenchmarkFig6ContentionParallel(b *testing.B) { benchFig6Workers(b, 0) }
+
 // BenchmarkModelVsSim runs the validation experiment: analytical model vs
 // discrete-event simulation.
 func BenchmarkModelVsSim(b *testing.B) { runDriver(b, "validate") }

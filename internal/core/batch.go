@@ -1,0 +1,23 @@
+package core
+
+import (
+	"context"
+
+	"dense802154/internal/engine"
+)
+
+// EvaluateBatch evaluates many parameter sets concurrently on a worker pool
+// (workers ≤ 0 selects runtime.NumCPU()) and returns the metrics in input
+// order. Each element is evaluated exactly as Evaluate would, so the batch
+// output is identical to a serial loop at any worker count; a canceled ctx
+// stops the batch promptly and returns ctx.Err().
+//
+// Contention sources shared between elements (the common case: one memoized
+// Monte-Carlo source across a sweep) are queried concurrently; MCSource's
+// single-flight cache guarantees each distinct (payload, load) point is
+// simulated once for the whole batch.
+func EvaluateBatch(ctx context.Context, workers int, ps []Params) ([]Metrics, error) {
+	return engine.MapSlice(ctx, workers, ps, func(i int, p Params) (Metrics, error) {
+		return Evaluate(p)
+	})
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"dense802154/internal/contention"
+)
+
+// quickParams returns a small-but-real configuration: Monte-Carlo
+// contention at reduced scale so the tests stay fast.
+func quickParams(workers int) Params {
+	p := DefaultParams()
+	p.Workers = workers
+	p.Contention = contention.NewMCSource(contention.Config{
+		Superframes: 12, Seed: 2005, Workers: workers,
+	})
+	return p
+}
+
+func TestRunCaseStudyWorkerCountInvariance(t *testing.T) {
+	cfg := DefaultCaseStudy()
+	cfg.LossGridPoints = 11
+
+	run := func(workers int) CaseStudyResult {
+		contention.ResetCache() // force a fresh Monte-Carlo run per worker count
+		res, err := RunCaseStudy(quickParams(workers), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		got := run(w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d produced a different CaseStudyResult:\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+	contention.ResetCache()
+}
+
+func TestEvaluateBatchMatchesSerialEvaluate(t *testing.T) {
+	var ps []Params
+	for _, loss := range []float64{55, 65, 75, 85, 95} {
+		p := quickParams(1)
+		p.PathLossDB = loss
+		ps = append(ps, p)
+	}
+	got, err := EvaluateBatch(context.Background(), 4, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		want, err := Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("batch[%d] != serial Evaluate:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestEvaluateBatchInvalidParamsError(t *testing.T) {
+	ps := []Params{quickParams(1), {}} // second element fails validation
+	if _, err := EvaluateBatch(context.Background(), 2, ps); err == nil {
+		t.Fatal("invalid element must fail the batch")
+	}
+}
+
+func TestEvaluateBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ps := make([]Params, 256)
+	for i := range ps {
+		ps[i] = quickParams(1)
+	}
+	start := time.Now()
+	_, err := EvaluateBatch(ctx, 2, ps)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("canceled batch took %v to stop", d)
+	}
+}

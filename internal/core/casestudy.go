@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"dense802154/internal/channel"
+	"dense802154/internal/engine"
 	"dense802154/internal/frame"
 	"dense802154/internal/stats"
 	"dense802154/internal/units"
@@ -92,8 +94,10 @@ type CaseStudyResult struct {
 }
 
 // RunCaseStudy integrates the model over the path-loss population. The
-// base Params supply radio, BER, contention source and superframe; load
-// and payload come from the scenario.
+// base Params supply radio, BER, contention source, superframe and worker
+// count; load and payload come from the scenario. The path-loss grid is
+// evaluated concurrently on p.Workers goroutines with worker-count-
+// independent results.
 func RunCaseStudy(p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
 	if cfg.LossGridPoints < 2 {
 		return CaseStudyResult{}, fmt.Errorf("core: loss grid needs ≥2 points")
@@ -108,19 +112,27 @@ func RunCaseStudy(p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
 	res := CaseStudyResult{Config: cfg, Load: load}
 	grid := channel.LossGrid(cfg.MinLossDB, cfg.MaxLossDB, cfg.LossGridPoints)
 
+	// Evaluate the population concurrently; the grid order of the results
+	// is fixed by index, so the serial fold below is worker-count
+	// independent.
+	ms, err := engine.MapSlice(context.Background(), p.Workers, grid,
+		func(i int, a float64) (Metrics, error) {
+			q := p
+			q.PathLossDB = a
+			q.TXLevelIndex = AutoTXLevel
+			return Evaluate(q)
+		})
+	if err != nil {
+		return CaseStudyResult{}, err
+	}
+
 	var power, prfail, energy stats.Accumulator
 	var covered stats.Proportion
 	var delays []float64
 	var bd Breakdown
 	var st StateTimes
-	for _, a := range grid {
-		q := p
-		q.PathLossDB = a
-		q.TXLevelIndex = AutoTXLevel
-		m, err := Evaluate(q)
-		if err != nil {
-			return CaseStudyResult{}, err
-		}
+	for i, a := range grid {
+		m := ms[i]
 		res.LossGrid = append(res.LossGrid, a)
 		res.PowerUW = append(res.PowerUW, m.AvgPower.MicroWatts())
 		res.PrFail = append(res.PrFail, m.PrFail)

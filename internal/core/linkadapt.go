@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"dense802154/internal/engine"
 	"dense802154/internal/fit"
 	"dense802154/internal/stats"
 )
@@ -48,28 +50,34 @@ type EnergyCurve struct {
 }
 
 // EnergyVsPathLoss evaluates the model across a path-loss grid for every
-// transmit level of the radio (one Fig. 7 family at p.Load).
+// transmit level of the radio (one Fig. 7 family at p.Load). The
+// (level, loss) cells are evaluated concurrently on p.Workers goroutines;
+// every cell writes its own grid slot, so the curve family is identical at
+// any worker count.
 func EnergyVsPathLoss(p Params, losses []float64) ([]EnergyCurve, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	curves := make([]EnergyCurve, 0, p.Radio.MaxTXLevel()+1)
-	for i := 0; i <= p.Radio.MaxTXLevel(); i++ {
-		c := EnergyCurve{
+	levels := p.Radio.MaxTXLevel() + 1
+	curves := make([]EnergyCurve, levels)
+	for i := range curves {
+		curves[i] = EnergyCurve{
 			LevelIndex: i,
 			LevelDBm:   p.Radio.TXLevels[i].DBm,
 			LossDB:     append([]float64(nil), losses...),
 			EnergyJ:    make([]float64, len(losses)),
 		}
-		for j, a := range losses {
-			q := p
-			q.TXLevelIndex = i
-			q.PathLossDB = a
-			m := evaluateAtLevel(q)
-			c.EnergyJ[j] = m.EnergyPerBitJ
-		}
-		curves = append(curves, c)
 	}
+	// The evaluation closure cannot fail and the context is never
+	// canceled, so Map's error is structurally nil.
+	_ = engine.Map(context.Background(), p.Workers, levels*len(losses), func(k int) error {
+		i, j := k/len(losses), k%len(losses)
+		q := p
+		q.TXLevelIndex = i
+		q.PathLossDB = losses[j]
+		curves[i].EnergyJ[j] = evaluateAtLevel(q).EnergyPerBitJ
+		return nil
+	})
 	return curves, nil
 }
 
@@ -140,15 +148,18 @@ func AdaptedEnergySeries(p Params, losses []float64) (stats.Series, error) {
 		return stats.Series{}, err
 	}
 	s := stats.Series{Label: fmt.Sprintf("load %.2f", p.Load)}
-	for _, a := range losses {
-		q := p
-		q.PathLossDB = a
-		q.TXLevelIndex = AutoTXLevel
-		m, err := Evaluate(q)
-		if err != nil {
-			return stats.Series{}, err
-		}
-		s.Append(a, m.EnergyPerBitJ)
+	ms, err := engine.MapSlice(context.Background(), p.Workers, losses,
+		func(i int, a float64) (Metrics, error) {
+			q := p
+			q.PathLossDB = a
+			q.TXLevelIndex = AutoTXLevel
+			return Evaluate(q)
+		})
+	if err != nil {
+		return stats.Series{}, err
+	}
+	for i, a := range losses {
+		s.Append(a, ms[i].EnergyPerBitJ)
 	}
 	return s, nil
 }

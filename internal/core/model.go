@@ -94,6 +94,14 @@ type Params struct {
 	// IncludeShutdownLeakage adds the 144 nW shutdown floor (the paper
 	// neglects it; it is ≈0.14 µW here).
 	IncludeShutdownLeakage bool
+
+	// Workers bounds the goroutines used by the sweep entry points
+	// (RunCaseStudy, EnergyVsPathLoss, Thresholds, EnergyVsPayload,
+	// EvaluateBatch): 1 runs serially, 0 (or negative) uses
+	// runtime.NumCPU(). Results are deterministic — identical at any
+	// worker count — because every task is keyed by its grid index and
+	// all randomness sits behind seeded, memoized contention sources.
+	Workers int
 }
 
 // AutoTXLevel requests link adaptation: the energy-optimal transmit level

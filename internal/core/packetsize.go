@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"dense802154/internal/engine"
 	"dense802154/internal/frame"
 	"dense802154/internal/stats"
 )
@@ -11,21 +14,26 @@ import (
 // nonetheless decreases monotonically up to the 123-byte maximum.
 
 // EnergyVsPayload evaluates the link-adapted energy per bit across payload
-// sizes at p's load and path loss — one Fig. 8 curve.
+// sizes at p's load and path loss — one Fig. 8 curve. The sizes are
+// evaluated concurrently on p.Workers goroutines with worker-count-
+// independent results.
 func EnergyVsPayload(p Params, sizes []int) (stats.Series, error) {
 	if err := p.Validate(); err != nil {
 		return stats.Series{}, err
 	}
+	ms, err := engine.MapSlice(context.Background(), p.Workers, sizes,
+		func(i, L int) (Metrics, error) {
+			q := p
+			q.PayloadBytes = L
+			q.TXLevelIndex = AutoTXLevel
+			return Evaluate(q)
+		})
+	if err != nil {
+		return stats.Series{}, err
+	}
 	s := stats.Series{}
-	for _, L := range sizes {
-		q := p
-		q.PayloadBytes = L
-		q.TXLevelIndex = AutoTXLevel
-		m, err := Evaluate(q)
-		if err != nil {
-			return stats.Series{}, err
-		}
-		s.Append(float64(L), m.EnergyPerBitJ)
+	for i, L := range sizes {
+		s.Append(float64(L), ms[i].EnergyPerBitJ)
 	}
 	return s, nil
 }

@@ -1,0 +1,52 @@
+package engine
+
+import "sync"
+
+// Cache is a memoizing single-flight map: Get computes the value for a key
+// exactly once, even under concurrent requests, and serves every later
+// request from memory. The zero value is ready for use. It backs the shared
+// contention cache: a sweep that evaluates many model points at the same
+// (payload, load, contention config) simulates the Monte-Carlo
+// characterization once instead of once per point.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// Get returns the cached value for key, running compute under a per-key
+// sync.Once on a miss. Concurrent callers with the same key block until the
+// single computation finishes and then share its result.
+func (c *Cache[K, V]) Get(key K, compute func() V) V {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val = compute() })
+	return e.val
+}
+
+// Len reports the number of cached keys (including any still computing).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every cached entry. Long-running services sweeping unbounded
+// parameter spaces should Reset between sweeps to bound memory.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}

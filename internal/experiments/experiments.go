@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dense802154/internal/contention"
 	"dense802154/internal/stats"
 )
 
@@ -23,6 +24,10 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomized components.
 	Seed int64
+	// Workers bounds the goroutines of every concurrent stage (model
+	// sweeps, Monte-Carlo shards, curve points): 1 runs serially, 0 uses
+	// runtime.NumCPU(). Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultOptions returns the paper-scale settings.
@@ -72,4 +77,14 @@ func mcSuperframes(opt Options) int {
 		return 12
 	}
 	return 80
+}
+
+// mcConfig returns the base Monte-Carlo contention configuration for the
+// options: run length, seed and worker count.
+func mcConfig(opt Options) contention.Config {
+	return contention.Config{
+		Superframes: mcSuperframes(opt),
+		Seed:        opt.Seed,
+		Workers:     opt.Workers,
+	}
 }

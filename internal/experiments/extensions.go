@@ -41,12 +41,9 @@ func init() {
 }
 
 func runBLE(opt Options) ([]*stats.Table, error) {
-	base := contention.Config{
-		Superframes: mcSuperframes(opt),
-		Seed:        opt.Seed,
-		Arrival:     contention.ArrivalAtBeacon,
-		TargetLoad:  0.42,
-	}
+	base := mcConfig(opt)
+	base.Arrival = contention.ArrivalAtBeacon
+	base.TargetLoad = 0.42
 	bleParams := mac.PaperParams()
 	bleParams.BatteryLifeExt = true
 
@@ -112,7 +109,7 @@ func runGTS(opt Options) ([]*stats.Table, error) {
 }
 
 func runContModel(opt Options) ([]*stats.Table, error) {
-	mc := contention.NewMCSource(contention.Config{Superframes: mcSuperframes(opt), Seed: opt.Seed})
+	mc := contention.NewMCSource(mcConfig(opt))
 	ap := contention.Approx{}
 
 	cont := stats.NewTable("Contention statistics: Monte-Carlo vs closed form (120 B)",
@@ -156,12 +153,10 @@ func runArrival(opt Options) ([]*stats.Table, error) {
 		{"uniform in superframe (statistical multiplexing)", contention.ArrivalUniform},
 		{"burst at beacon", contention.ArrivalAtBeacon},
 	} {
-		r := contention.Simulate(contention.Config{
-			Superframes: mcSuperframes(opt),
-			Seed:        opt.Seed,
-			TargetLoad:  0.42,
-			Arrival:     row.a,
-		})
+		cfg := mcConfig(opt)
+		cfg.TargetLoad = 0.42
+		cfg.Arrival = row.a
+		r := contention.Simulate(cfg)
 		tbl.AddRow(row.name, r.MeanContention.Seconds()*1e3, r.MeanCCAs, r.PrCF, r.PrCol)
 	}
 	tbl.AddNote("the paper's 0.47%% idle-time share (Fig. 9b) requires the uniform model: an at-beacon burst would multiply contention time")

@@ -28,7 +28,7 @@ func fig6Loads(opt Options) []float64 {
 
 func runFig6(opt Options) ([]*stats.Table, error) {
 	loads := fig6Loads(opt)
-	base := contention.Config{Superframes: mcSuperframes(opt), Seed: opt.Seed}
+	base := mcConfig(opt)
 	curves := make([]contention.Curve, 0, len(fig6Payloads))
 	for _, L := range fig6Payloads {
 		curves = append(curves, contention.BuildCurve(L, loads, base))

@@ -26,7 +26,7 @@ func runFig7(opt Options) ([]*stats.Table, error) {
 	if opt.Quick {
 		grid = channel.LossGrid(40, 95, 12)
 	}
-	src := contention.NewMCSource(contention.Config{Superframes: mcSuperframes(opt), Seed: opt.Seed})
+	src := contention.NewMCSource(mcConfig(opt))
 
 	cols := []string{"path loss [dB]"}
 	for _, l := range fig7Loads {
@@ -36,6 +36,7 @@ func runFig7(opt Options) ([]*stats.Table, error) {
 	series := make([]stats.Series, len(fig7Loads))
 	for li, l := range fig7Loads {
 		p := core.DefaultParams()
+		p.Workers = opt.Workers
 		p.Contention = src
 		p.Load = l
 		s, err := core.AdaptedEnergySeries(p, grid)
@@ -56,6 +57,7 @@ func runFig7(opt Options) ([]*stats.Table, error) {
 	thr := stats.NewTable("Fig. 7 circles: TX power switching thresholds",
 		"switch", "λ=0.10 [dB]", "λ=0.42 [dB]", "Δ [dB]")
 	p := core.DefaultParams()
+	p.Workers = opt.Workers
 	p.Contention = src
 	p.Load = 0.10
 	th1, err := core.Thresholds(p, grid)
@@ -80,6 +82,7 @@ func runFig7(opt Options) ([]*stats.Table, error) {
 	sav := stats.NewTable("Link adaptation savings vs always-0-dBm", "path loss [dB]", "savings")
 	for _, a := range []float64{45, 55, 65, 75, 85} {
 		p := core.DefaultParams()
+		p.Workers = opt.Workers
 		p.Contention = src
 		s, err := core.AdaptationSavings(p, a)
 		if err != nil {

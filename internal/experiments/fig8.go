@@ -22,7 +22,7 @@ func runFig8(opt Options) ([]*stats.Table, error) {
 	if opt.Quick {
 		sizes = []int{10, 40, 80, 123}
 	}
-	src := contention.NewMCSource(contention.Config{Superframes: mcSuperframes(opt), Seed: opt.Seed})
+	src := contention.NewMCSource(mcConfig(opt))
 
 	cols := []string{"payload [B]"}
 	for _, l := range fig7Loads {
@@ -32,6 +32,7 @@ func runFig8(opt Options) ([]*stats.Table, error) {
 	curves := make([]stats.Series, len(fig7Loads))
 	for li, l := range fig7Loads {
 		p := core.DefaultParams()
+		p.Workers = opt.Workers
 		p.Contention = src
 		p.Load = l
 		s, err := core.EnergyVsPayload(p, sizes)
@@ -51,6 +52,7 @@ func runFig8(opt Options) ([]*stats.Table, error) {
 	opt2 := stats.NewTable("Optimal payload per load", "load λ", "optimal payload [B]", "energy [nJ/bit]")
 	for _, l := range fig7Loads {
 		p := core.DefaultParams()
+		p.Workers = opt.Workers
 		p.Contention = src
 		p.Load = l
 		L, e, err := core.OptimalPayload(p, 10)

@@ -19,9 +19,8 @@ func init() {
 
 func caseStudyParams(opt Options) core.Params {
 	p := core.DefaultParams()
-	p.Contention = contention.NewMCSource(contention.Config{
-		Superframes: mcSuperframes(opt), Seed: opt.Seed,
-	})
+	p.Workers = opt.Workers
+	p.Contention = contention.NewMCSource(mcConfig(opt))
 	return p
 }
 
