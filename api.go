@@ -2,13 +2,16 @@ package dense802154
 
 import (
 	"context"
+	"net/http"
 
 	"dense802154/internal/contention"
 	"dense802154/internal/core"
+	"dense802154/internal/engine"
 	"dense802154/internal/experiments"
 	"dense802154/internal/netsim"
 	"dense802154/internal/phy"
 	"dense802154/internal/radio"
+	"dense802154/internal/service"
 	"dense802154/internal/stats"
 	"dense802154/internal/units"
 )
@@ -42,9 +45,12 @@ type (
 	ContentionStats  = contention.Stats
 	SimConfig        = netsim.Config
 	SimResult        = netsim.Result
+	SimReplicaSet    = netsim.ReplicaSet
+	ReplicaStat      = netsim.ReplicaStat
 	Experiment       = experiments.Experiment
 	ExperimentOpts   = experiments.Options
 	Table            = stats.Table
+	CacheStats       = engine.CacheStats
 )
 
 // AutoTXLevel requests link adaptation in Params.TXLevelIndex.
@@ -85,8 +91,18 @@ func EvaluateBatch(ctx context.Context, ps []Params) ([]Metrics, error) {
 
 // ContentionCacheReset drops the process-wide memoized Monte-Carlo
 // contention cache. Long-running services sweeping unbounded parameter
-// spaces should call it between sweeps to bound memory.
+// spaces should call it between sweeps to bound memory — or install a
+// standing bound with SetContentionCacheLimit.
 func ContentionCacheReset() { contention.ResetCache() }
+
+// SetContentionCacheLimit bounds the process-wide contention cache to at
+// most n Monte-Carlo characterizations with least-recently-used eviction;
+// n ≤ 0 removes the bound.
+func SetContentionCacheLimit(n int) { contention.SetCacheLimit(n) }
+
+// ContentionCacheStats snapshots the contention cache's hit/miss/eviction
+// counters and current size.
+func ContentionCacheStats() CacheStats { return contention.CacheStats() }
 
 // OptimalTXLevel picks the energy-optimal transmit level for p's path loss
 // (channel-inversion link adaptation).
@@ -97,10 +113,20 @@ func Thresholds(p Params, losses []float64) ([]Threshold, error) {
 	return core.Thresholds(p, losses)
 }
 
+// ThresholdsCtx is Thresholds with cancellation.
+func ThresholdsCtx(ctx context.Context, p Params, losses []float64) ([]Threshold, error) {
+	return core.ThresholdsCtx(ctx, p, losses)
+}
+
 // EnergyVsPathLoss evaluates energy per bit across a path-loss grid for
 // every transmit level (the Fig. 7 curve family).
 func EnergyVsPathLoss(p Params, losses []float64) ([]EnergyCurve, error) {
 	return core.EnergyVsPathLoss(p, losses)
+}
+
+// EnergyVsPathLossCtx is EnergyVsPathLoss with cancellation.
+func EnergyVsPathLossCtx(ctx context.Context, p Params, losses []float64) ([]EnergyCurve, error) {
+	return core.EnergyVsPathLossCtx(ctx, p, losses)
 }
 
 // AdaptationSavings reports the energy saved by link adaptation versus
@@ -114,6 +140,11 @@ func EnergyVsPayload(p Params, sizes []int) (stats.Series, error) {
 	return core.EnergyVsPayload(p, sizes)
 }
 
+// EnergyVsPayloadCtx is EnergyVsPayload with cancellation.
+func EnergyVsPayloadCtx(ctx context.Context, p Params, sizes []int) (stats.Series, error) {
+	return core.EnergyVsPayloadCtx(ctx, p, sizes)
+}
+
 // OptimalPayload reports the energy-optimal payload size.
 func OptimalPayload(p Params, step int) (int, float64, error) {
 	return core.OptimalPayload(p, step)
@@ -125,6 +156,12 @@ func DefaultCaseStudy() CaseStudyConfig { return core.DefaultCaseStudy() }
 // RunCaseStudy integrates the model over the path-loss population (§5).
 func RunCaseStudy(p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
 	return core.RunCaseStudy(p, cfg)
+}
+
+// RunCaseStudyCtx is RunCaseStudy with cancellation: a canceled ctx stops
+// the population sweep promptly with ctx.Err().
+func RunCaseStudyCtx(ctx context.Context, p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
+	return core.RunCaseStudyCtx(ctx, p, cfg)
 }
 
 // EvaluateImprovements runs the §5 radio-architecture ablations.
@@ -147,6 +184,16 @@ func SimulateContention(cfg ContentionConfig) ContentionResult {
 // Simulate runs the cycle-accurate discrete-event network simulation.
 func Simulate(cfg SimConfig) SimResult { return netsim.Run(cfg) }
 
+// SimulateReplicas runs n independent replications of cfg concurrently on
+// workers goroutines (0 ⇒ NumCPU) and merges them into across-replica mean
+// and 95% confidence statistics. Replica 0 keeps cfg.Seed — a 1-replica
+// run reproduces Simulate(cfg) — and the remaining seeds derive from it,
+// so any replica count reuses the same random streams. A canceled ctx
+// stops the batch promptly with ctx.Err().
+func SimulateReplicas(ctx context.Context, cfg SimConfig, n, workers int) (SimReplicaSet, error) {
+	return netsim.RunReplicas(ctx, cfg, n, workers)
+}
+
 // Experiments lists the registered paper-artifact drivers.
 func Experiments() []Experiment { return experiments.All() }
 
@@ -158,6 +205,17 @@ func RunExperiment(name string, opt ExperimentOpts) ([]*Table, error) {
 	}
 	return e.Run(opt)
 }
+
+// ServeConfig configures the HTTP batch-evaluation service front-end (see
+// internal/service for the endpoint list and wire formats).
+type ServeConfig = service.Config
+
+// NewHTTPHandler builds the HTTP JSON API exposing the whole model surface
+// — evaluate/batch/casestudy/sweeps/simulate/experiments — with a
+// server-wide worker pool, per-request deadlines and a bounded contention
+// cache. Mount it on any http.Server; cmd/wsn-serve is the reference
+// deployment.
+func NewHTTPHandler(cfg ServeConfig) http.Handler { return service.NewServer(cfg) }
 
 type errUnknownExperiment string
 

@@ -1,0 +1,88 @@
+// Command wsn-serve runs the HTTP batch-evaluation service: the whole model
+// surface of the repository — analytical evaluations, batches, the §5 case
+// study, the Fig. 7/8 sweeps, the discrete-event simulator with parallel
+// replications and the registered experiment drivers — behind a JSON API
+// with a server-wide worker pool and a bounded contention cache.
+//
+// Usage:
+//
+//	wsn-serve -addr :8080 -workers 8 -cache-size 4096 -timeout 2m
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+// See the package documentation of internal/service for the endpoint list
+// and doc.go for example invocations.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dense802154/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.NumCPU(), "server-wide worker-token budget shared by all requests")
+		cacheSize = flag.Int("cache-size", 4096, "max entries of the shared contention cache, LRU-evicted (0 = unbounded)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request computation deadline (0 = none)")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		quiet     = flag.Bool("quiet", false, "disable per-request logging")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "wsn-serve: ", log.LstdFlags)
+	cfg := service.Config{
+		Workers:        *workers,
+		CacheLimit:     *cacheSize,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	}
+	if !*quiet {
+		cfg.Log = logger
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(cfg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d cache=%d timeout=%v)",
+		*addr, *workers, *cacheSize, *timeout)
+
+	select {
+	case err := <-errCh:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (drain %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("forced shutdown: %v", err)
+		_ = srv.Close()
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger.Println("bye")
+}

@@ -16,10 +16,8 @@ import (
 
 	"dense802154"
 	"dense802154/internal/channel"
-	"dense802154/internal/engine"
 	"dense802154/internal/mac"
 	"dense802154/internal/radio"
-	"dense802154/internal/stats"
 )
 
 func main() {
@@ -62,19 +60,13 @@ func main() {
 			Seed:         seed,
 		}
 	}
-	// Replica 0 keeps the base seed (backwards compatible); the rest use
-	// engine-derived seeds so any replica count reuses the same streams.
-	seeds := make([]int64, *replicas)
-	seeds[0] = *seed
-	for i := 1; i < *replicas; i++ {
-		seeds[i] = engine.DeriveSeed(*seed, int64(i))
+	rs, err := dense802154.SimulateReplicas(context.Background(), cfgFor(*seed), *replicas, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	results, _ := engine.MapSlice(context.Background(), *workers, seeds,
-		func(i int, s int64) (dense802154.SimResult, error) {
-			return dense802154.Simulate(cfgFor(s)), nil
-		})
 
-	res := results[0]
+	res := rs.Results[0]
 	fmt.Println(res)
 	fmt.Printf("\npackets: offered=%d delivered=%d dropped=%d expired=%d\n",
 		res.PacketsOffered, res.PacketsDelivered, res.PacketsDropped, res.PacketsExpired)
@@ -102,17 +94,14 @@ func main() {
 	}
 
 	if *replicas > 1 {
-		var power, delivery, prcf stats.Accumulator
 		fmt.Printf("\nreplicas (%d, %d workers):\n", *replicas, *workers)
-		for i, rr := range results {
+		for i, rr := range rs.Results {
 			fmt.Printf("  #%-2d seed=%-20d power=%v delivery=%.3f Prcf=%.3f\n",
-				i, seeds[i], rr.AvgPowerPerNode, rr.DeliveryRatio, rr.Contention.PrCF)
-			power.Add(float64(rr.AvgPowerPerNode.MicroWatts()))
-			delivery.Add(rr.DeliveryRatio)
-			prcf.Add(rr.Contention.PrCF)
+				i, rs.Seeds[i], rr.AvgPowerPerNode, rr.DeliveryRatio, rr.Contention.PrCF)
 		}
 		fmt.Printf("mean: power=%.1f µW (±%.1f) delivery=%.3f (±%.3f) Prcf=%.3f (±%.3f)\n",
-			power.Mean(), power.CI95(), delivery.Mean(), delivery.CI95(),
-			prcf.Mean(), prcf.CI95())
+			rs.AvgPowerUW.Mean, rs.AvgPowerUW.CI95,
+			rs.DeliveryRatio.Mean, rs.DeliveryRatio.CI95,
+			rs.PrCF.Mean, rs.PrCF.CI95)
 	}
 }

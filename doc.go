@@ -19,7 +19,10 @@
 //     (Experiments, RunExperiment);
 //   - a concurrent batch-evaluation engine (EvaluateBatch and the Workers
 //     fields of Params/ContentionConfig/ExperimentOpts) running every sweep
-//     on a worker pool.
+//     on a worker pool;
+//   - an HTTP JSON service exposing all of the above to remote clients
+//     (NewHTTPHandler, cmd/wsn-serve) with a server-wide worker pool and a
+//     bounded contention cache.
 //
 // # Quick start
 //
@@ -35,8 +38,49 @@
 // 1 ⇒ serial). Results are deterministic and worker-count independent:
 // tasks are keyed by grid index, per-shard RNG seeds derive from the run
 // seed alone, and identical contention points are simulated once per
-// process through a shared memoized cache (see ContentionCacheReset). A
-// canceled context stops EvaluateBatch promptly with ctx.Err().
+// process through a shared memoized cache. The cache is LRU-bounded on
+// request (SetContentionCacheLimit), instrumented (ContentionCacheStats)
+// and still resettable (ContentionCacheReset). A canceled context stops
+// EvaluateBatch, RunCaseStudyCtx, the sweep *Ctx variants and
+// SimulateReplicas promptly with ctx.Err().
+//
+// # HTTP service
+//
+// cmd/wsn-serve runs the whole model surface as an HTTP JSON API backed by
+// NewHTTPHandler:
+//
+//	wsn-serve -addr :8080 -workers 8 -cache-size 4096 -timeout 2m
+//
+//	# liveness and counters
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/stats
+//
+//	# one model evaluation (empty fields default to the paper's §5 setup)
+//	curl -d '{"params":{"payload_bytes":60,"load":0.25}}' localhost:8080/v1/evaluate
+//
+//	# a batch; add ?stream=1 (or "stream":true) for NDJSON as results land
+//	curl -d '{"params":[{"payload_bytes":20},{"payload_bytes":120}]}' localhost:8080/v1/batch
+//
+//	# the 1600-node case study, the Fig. 7/8 sweeps, the simulator
+//	curl -d '{}' localhost:8080/v1/casestudy
+//	curl -d '{"params":{"load":0.1}}' localhost:8080/v1/sweep/pathloss
+//	curl -d '{"params":{"load":0.1}}' localhost:8080/v1/sweep/thresholds
+//	curl -d '{"sizes":[20,60,120]}' localhost:8080/v1/sweep/payload
+//	curl -d '{"config":{"nodes":100},"replicas":8}' localhost:8080/v1/simulate
+//
+//	# registered paper drivers
+//	curl localhost:8080/v1/experiments
+//	curl -d '{"quick":true}' localhost:8080/v1/experiments/fig8
+//
+// Requests carry optional "workers" fields, but the server clamps every
+// grant to its own -workers token budget, so any number of clients shares
+// one pool; results are bit-identical to in-process calls regardless of
+// the grant. -cache-size bounds the shared contention cache with LRU
+// eviction; /v1/stats reports its hit/miss/eviction counters. Validation
+// failures return structured 400 bodies naming the offending field, and a
+// disconnecting client cancels its computation (observed between grid
+// points, batch elements and replicas). See examples/serveclient for a
+// complete client.
 //
 // See the examples directory for runnable scenarios and EXPERIMENTS.md for
 // the paper-versus-reproduction comparison of every figure.

@@ -1,0 +1,95 @@
+// Example serveclient drives the Fig. 8 packet-size study through the HTTP
+// batch-evaluation service instead of in-process calls: it POSTs one
+// /v1/sweep/payload request per network load and prints the energy-per-bit
+// table, exactly the workload a dashboard or notebook client would submit.
+//
+// By default it spins up an in-process server so the example is
+// self-contained; point it at a running wsn-serve with
+//
+//	go run ./examples/serveclient -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"dense802154/internal/service"
+)
+
+type sweepRequest struct {
+	Params map[string]any `json:"params"`
+	Sizes  []int          `json:"sizes"`
+}
+
+type sweepResponse struct {
+	SizesBytes []int           `json:"sizes_bytes"`
+	EnergyJ    []service.Float `json:"energy_j_per_bit"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running wsn-serve (empty: start an in-process server)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		ts := httptest.NewServer(service.NewServer(service.Config{CacheLimit: 1024}))
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("started in-process server at %s\n\n", base)
+	}
+
+	sizes := []int{10, 20, 40, 60, 80, 100, 120, 123}
+	loads := []float64{0.10, 0.25, 0.42}
+
+	curves := make([][]service.Float, len(loads))
+	for i, load := range loads {
+		req := sweepRequest{
+			Params: map[string]any{
+				"load":       load,
+				"contention": map[string]any{"superframes": 30, "seed": 2005},
+			},
+			Sizes: sizes,
+		}
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(base+"/v1/sweep/payload", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e bytes.Buffer
+			e.ReadFrom(resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "HTTP %d: %s\n", resp.StatusCode, e.String())
+			os.Exit(1)
+		}
+		var sr sweepResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		resp.Body.Close()
+		curves[i] = sr.EnergyJ
+	}
+
+	fmt.Println("Fig. 8 over HTTP: link-adapted energy per bit vs payload (75 dB path loss)")
+	fmt.Printf("%-12s", "payload [B]")
+	for _, l := range loads {
+		fmt.Printf("  λ=%.2f [nJ/bit]", l)
+	}
+	fmt.Println()
+	for j, L := range sizes {
+		fmt.Printf("%-12d", L)
+		for i := range loads {
+			fmt.Printf("  %15.1f", float64(curves[i][j])*1e9)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe energy per bit decreases monotonically up to the 123-byte maximum,")
+	fmt.Println("reproducing the paper's packet-sizing conclusion through the service path.")
+}

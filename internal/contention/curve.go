@@ -114,11 +114,22 @@ var mcCache engine.Cache[mcKey, Stats]
 
 // ResetCache drops the shared Monte-Carlo contention cache. Long-running
 // services sweeping unbounded (payload, load, config) spaces should call it
-// between sweeps to bound memory; tests use it to force re-simulation.
+// between sweeps to bound memory — or install a standing bound with
+// SetCacheLimit; tests use it to force re-simulation.
 func ResetCache() { mcCache.Reset() }
 
 // CacheLen reports the number of cached contention characterizations.
 func CacheLen() int { return mcCache.Len() }
+
+// SetCacheLimit bounds the shared contention cache to at most n
+// characterizations with least-recently-used eviction; n ≤ 0 removes the
+// bound. Services sweeping unbounded parameter spaces set this once at
+// startup instead of calling ResetCache between sweeps.
+func SetCacheLimit(n int) { mcCache.SetLimit(n) }
+
+// CacheStats snapshots the shared contention cache's hit/miss/eviction
+// counters and current size.
+func CacheStats() engine.CacheStats { return mcCache.Stats() }
 
 // MCSource is a Monte-Carlo-backed Source with memoization. It simulates
 // on demand at the requested (payload, load) point; results are cached on a

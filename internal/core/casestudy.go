@@ -99,6 +99,14 @@ type CaseStudyResult struct {
 // evaluated concurrently on p.Workers goroutines with worker-count-
 // independent results.
 func RunCaseStudy(p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
+	return RunCaseStudyCtx(context.Background(), p, cfg)
+}
+
+// RunCaseStudyCtx is RunCaseStudy with cancellation: a canceled ctx stops
+// the population sweep promptly and returns ctx.Err(), so paper-scale
+// integrations started on behalf of a remote client (the HTTP service) are
+// cancelable end to end when the client disconnects.
+func RunCaseStudyCtx(ctx context.Context, p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
 	if cfg.LossGridPoints < 2 {
 		return CaseStudyResult{}, fmt.Errorf("core: loss grid needs ≥2 points")
 	}
@@ -115,7 +123,7 @@ func RunCaseStudy(p Params, cfg CaseStudyConfig) (CaseStudyResult, error) {
 	// Evaluate the population concurrently; the grid order of the results
 	// is fixed by index, so the serial fold below is worker-count
 	// independent.
-	ms, err := engine.MapSlice(context.Background(), p.Workers, grid,
+	ms, err := engine.MapSlice(ctx, p.Workers, grid,
 		func(i int, a float64) (Metrics, error) {
 			q := p
 			q.PathLossDB = a

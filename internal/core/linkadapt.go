@@ -55,6 +55,12 @@ type EnergyCurve struct {
 // every cell writes its own grid slot, so the curve family is identical at
 // any worker count.
 func EnergyVsPathLoss(p Params, losses []float64) ([]EnergyCurve, error) {
+	return EnergyVsPathLossCtx(context.Background(), p, losses)
+}
+
+// EnergyVsPathLossCtx is EnergyVsPathLoss with cancellation: a canceled ctx
+// stops the (level, loss) grid promptly and returns ctx.Err().
+func EnergyVsPathLossCtx(ctx context.Context, p Params, losses []float64) ([]EnergyCurve, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,9 +74,8 @@ func EnergyVsPathLoss(p Params, losses []float64) ([]EnergyCurve, error) {
 			EnergyJ:    make([]float64, len(losses)),
 		}
 	}
-	// The evaluation closure cannot fail and the context is never
-	// canceled, so Map's error is structurally nil.
-	_ = engine.Map(context.Background(), p.Workers, levels*len(losses), func(k int) error {
+	// The evaluation closure cannot fail, so Map's error is the ctx's.
+	err := engine.Map(ctx, p.Workers, levels*len(losses), func(k int) error {
 		i, j := k/len(losses), k%len(losses)
 		q := p
 		q.TXLevelIndex = i
@@ -78,6 +83,9 @@ func EnergyVsPathLoss(p Params, losses []float64) ([]EnergyCurve, error) {
 		curves[i].EnergyJ[j] = evaluateAtLevel(q).EnergyPerBitJ
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return curves, nil
 }
 
@@ -98,7 +106,12 @@ func (t Threshold) String() string {
 // levels by finding the crossings of their energy curves (the circles of
 // Fig. 7). Levels whose curves never cross inside the grid are skipped.
 func Thresholds(p Params, losses []float64) ([]Threshold, error) {
-	curves, err := EnergyVsPathLoss(p, losses)
+	return ThresholdsCtx(context.Background(), p, losses)
+}
+
+// ThresholdsCtx is Thresholds with cancellation.
+func ThresholdsCtx(ctx context.Context, p Params, losses []float64) ([]Threshold, error) {
+	curves, err := EnergyVsPathLossCtx(ctx, p, losses)
 	if err != nil {
 		return nil, err
 	}
@@ -144,11 +157,16 @@ func AdaptationSavings(p Params, lossDB float64) (float64, error) {
 // AdaptedEnergySeries evaluates the link-adapted (lower envelope) energy
 // per bit across a path-loss grid — the solid curve of Fig. 7.
 func AdaptedEnergySeries(p Params, losses []float64) (stats.Series, error) {
+	return AdaptedEnergySeriesCtx(context.Background(), p, losses)
+}
+
+// AdaptedEnergySeriesCtx is AdaptedEnergySeries with cancellation.
+func AdaptedEnergySeriesCtx(ctx context.Context, p Params, losses []float64) (stats.Series, error) {
 	if err := p.Validate(); err != nil {
 		return stats.Series{}, err
 	}
 	s := stats.Series{Label: fmt.Sprintf("load %.2f", p.Load)}
-	ms, err := engine.MapSlice(context.Background(), p.Workers, losses,
+	ms, err := engine.MapSlice(ctx, p.Workers, losses,
 		func(i int, a float64) (Metrics, error) {
 			q := p
 			q.PathLossDB = a

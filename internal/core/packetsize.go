@@ -18,10 +18,16 @@ import (
 // evaluated concurrently on p.Workers goroutines with worker-count-
 // independent results.
 func EnergyVsPayload(p Params, sizes []int) (stats.Series, error) {
+	return EnergyVsPayloadCtx(context.Background(), p, sizes)
+}
+
+// EnergyVsPayloadCtx is EnergyVsPayload with cancellation: a canceled ctx
+// stops the size sweep promptly and returns ctx.Err().
+func EnergyVsPayloadCtx(ctx context.Context, p Params, sizes []int) (stats.Series, error) {
 	if err := p.Validate(); err != nil {
 		return stats.Series{}, err
 	}
-	ms, err := engine.MapSlice(context.Background(), p.Workers, sizes,
+	ms, err := engine.MapSlice(ctx, p.Workers, sizes,
 		func(i, L int) (Metrics, error) {
 			q := p
 			q.PayloadBytes = L

@@ -4,35 +4,105 @@ import "sync"
 
 // Cache is a memoizing single-flight map: Get computes the value for a key
 // exactly once, even under concurrent requests, and serves every later
-// request from memory. The zero value is ready for use. It backs the shared
-// contention cache: a sweep that evaluates many model points at the same
-// (payload, load, contention config) simulates the Monte-Carlo
-// characterization once instead of once per point.
+// request from memory. The zero value is an unbounded cache ready for use;
+// SetLimit bounds it with LRU eviction. It backs the shared contention
+// cache: a sweep that evaluates many model points at the same (payload,
+// load, contention config) simulates the Monte-Carlo characterization once
+// instead of once per point, and a long-running service sweeping an
+// unbounded parameter space stays within a fixed memory budget.
 type Cache[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*cacheEntry[V]
+	mu    sync.Mutex
+	limit int
+	m     map[K]*cacheEntry[K, V]
+	// Intrusive recency list: head is most recently used, tail least.
+	head, tail *cacheEntry[K, V]
+
+	hits, misses, evictions uint64
 }
 
-type cacheEntry[V any] struct {
-	once sync.Once
-	val  V
+type cacheEntry[K comparable, V any] struct {
+	key        K
+	once       sync.Once
+	val        V
+	done       bool // guarded by Cache.mu; set after once completes
+	prev, next *cacheEntry[K, V]
+}
+
+// CacheStats is a snapshot of a cache's counters.
+type CacheStats struct {
+	// Hits counts Gets served from an existing entry (including entries
+	// still computing that the caller then waited on).
+	Hits uint64
+	// Misses counts Gets that had to create the entry and run compute.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU bound (Reset not
+	// included).
+	Evictions uint64
+	// Entries is the current number of cached keys.
+	Entries int
+	// Limit is the configured bound (0 = unbounded).
+	Limit int
+}
+
+// HitRate reports Hits/(Hits+Misses), 0 when the cache is untouched.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// SetLimit bounds the cache to at most n entries, evicting least recently
+// used entries when the bound is exceeded; n ≤ 0 removes the bound. The
+// bound is enforced immediately and on every later insertion. Entries whose
+// computation is still in flight are never evicted, so the instantaneous
+// size can transiently exceed n by the number of concurrent computations.
+func (c *Cache[K, V]) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.limit = n
+	c.evictLocked()
+}
+
+// Limit reports the configured entry bound (0 = unbounded).
+func (c *Cache[K, V]) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit
 }
 
 // Get returns the cached value for key, running compute under a per-key
 // sync.Once on a miss. Concurrent callers with the same key block until the
-// single computation finishes and then share its result.
+// single computation finishes and then share its result. Get refreshes the
+// key's recency; a miss may evict the least recently used completed entry
+// when a limit is set.
 func (c *Cache[K, V]) Get(key K, compute func() V) V {
 	c.mu.Lock()
 	if c.m == nil {
-		c.m = make(map[K]*cacheEntry[V])
+		c.m = make(map[K]*cacheEntry[K, V])
 	}
 	e, ok := c.m[key]
-	if !ok {
-		e = &cacheEntry[V]{}
+	if ok {
+		c.hits++
+		c.moveToFrontLocked(e)
+	} else {
+		c.misses++
+		e = &cacheEntry[K, V]{key: key}
 		c.m[key] = e
+		c.pushFrontLocked(e)
+		c.evictLocked()
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val = compute() })
+	e.once.Do(func() {
+		e.val = compute()
+		c.mu.Lock()
+		e.done = true
+		c.mu.Unlock()
+	})
 	return e.val
 }
 
@@ -43,10 +113,81 @@ func (c *Cache[K, V]) Len() int {
 	return len(c.m)
 }
 
-// Reset drops every cached entry. Long-running services sweeping unbounded
-// parameter spaces should Reset between sweeps to bound memory.
+// Stats snapshots the cache counters.
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.m),
+		Limit:     c.limit,
+	}
+}
+
+// Reset drops every cached entry, keeping the limit and the cumulative
+// hit/miss/eviction counters. Long-running services sweeping unbounded
+// parameter spaces can Reset between sweeps; with a SetLimit bound in place
+// the cache also polices itself.
 func (c *Cache[K, V]) Reset() {
 	c.mu.Lock()
 	c.m = nil
+	c.head, c.tail = nil, nil
 	c.mu.Unlock()
+}
+
+// pushFrontLocked inserts e at the recency head. Callers hold c.mu.
+func (c *Cache[K, V]) pushFrontLocked(e *cacheEntry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveToFrontLocked refreshes e's recency. Callers hold c.mu.
+func (c *Cache[K, V]) moveToFrontLocked(e *cacheEntry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}
+
+// unlinkLocked removes e from the recency list. Callers hold c.mu.
+func (c *Cache[K, V]) unlinkLocked(e *cacheEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictLocked drops completed entries from the LRU tail until the bound
+// holds. In-flight entries are skipped: evicting one would let a concurrent
+// Get for the same key start a duplicate computation. Callers hold c.mu.
+func (c *Cache[K, V]) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for e := c.tail; e != nil && len(c.m) > c.limit; {
+		prev := e.prev
+		if e.done {
+			c.unlinkLocked(e)
+			delete(c.m, e.key)
+			c.evictions++
+		}
+		e = prev
+	}
 }

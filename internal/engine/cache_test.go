@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheSingleFlightAndCounters(t *testing.T) {
+	var c Cache[int, int]
+	var computes atomic.Int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got := c.Get(i%10, func() int {
+					computes.Add(1)
+					return i % 10 * 7
+				})
+				if got != i%10*7 {
+					t.Errorf("Get(%d) = %d", i%10, got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := computes.Load(); n != 10 {
+		t.Fatalf("computes = %d, want 10 (single flight)", n)
+	}
+	s := c.Stats()
+	if s.Misses != 10 || s.Hits != 790 || s.Entries != 10 {
+		t.Fatalf("stats = %+v, want 10 misses / 790 hits / 10 entries", s)
+	}
+	if hr := s.HitRate(); hr <= 0.9 {
+		t.Fatalf("hit rate = %v, want > 0.9", hr)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var c Cache[int, int]
+	c.SetLimit(3)
+	for i := 0; i < 5; i++ {
+		c.Get(i, func() int { return i })
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	s := c.Stats()
+	if s.Evictions != 2 || s.Limit != 3 {
+		t.Fatalf("stats = %+v, want 2 evictions at limit 3", s)
+	}
+	// 0 and 1 were least recently used and must have been evicted; 2-4
+	// must still be resident (their compute funcs must not rerun).
+	for i := 2; i < 5; i++ {
+		if got := c.Get(i, func() int { return -1 }); got != i {
+			t.Fatalf("entry %d was evicted (got %d)", i, got)
+		}
+	}
+	// Touch 2 so 3 becomes the LRU victim of the next insertion.
+	c.Get(2, func() int { return -1 })
+	c.Get(99, func() int { return 99 })
+	if got := c.Get(3, func() int { return -1 }); got != -1 {
+		t.Fatal("entry 3 survived though it was the LRU victim")
+	}
+	if got := c.Get(2, func() int { return -1 }); got != 2 {
+		t.Fatal("recently touched entry 2 was evicted")
+	}
+}
+
+func TestCacheSetLimitShrinksImmediately(t *testing.T) {
+	var c Cache[int, int]
+	for i := 0; i < 10; i++ {
+		c.Get(i, func() int { return i })
+	}
+	c.SetLimit(4)
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len after SetLimit(4) = %d, want 4", got)
+	}
+	c.SetLimit(0) // unbounded again
+	for i := 0; i < 10; i++ {
+		c.Get(100+i, func() int { return i })
+	}
+	if got := c.Len(); got != 14 {
+		t.Fatalf("Len unbounded = %d, want 14", got)
+	}
+}
+
+func TestCacheInFlightEntriesAreNotEvicted(t *testing.T) {
+	var c Cache[int, int]
+	c.SetLimit(1)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		done <- c.Get(1, func() int {
+			close(started)
+			<-release
+			return 42
+		})
+	}()
+	<-started
+	// Insertions while key 1 is still computing cannot evict it.
+	for i := 2; i < 6; i++ {
+		c.Get(i, func() int { return i })
+	}
+	close(release)
+	if got := <-done; got != 42 {
+		t.Fatalf("in-flight Get = %d, want 42", got)
+	}
+	// Key 1 completed and must now be resident (it is the most recent
+	// completion still linked); a second Get must not recompute.
+	if got := c.Get(1, func() int { return -1 }); got != 42 {
+		t.Fatalf("re-Get(1) = %d, want cached 42", got)
+	}
+}
+
+func TestCacheResetKeepsLimitAndCounters(t *testing.T) {
+	var c Cache[string, int]
+	c.SetLimit(5)
+	c.Get("a", func() int { return 1 })
+	c.Get("a", func() int { return 2 })
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset did not drop entries")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Limit != 5 {
+		t.Fatalf("stats after Reset = %+v, want counters and limit kept", s)
+	}
+	if got := c.Get("a", func() int { return 3 }); got != 3 {
+		t.Fatalf("Get after Reset = %d, want recomputed 3", got)
+	}
+}
+
+func TestCacheConcurrentWithEviction(t *testing.T) {
+	var c Cache[int, int]
+	c.SetLimit(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*31 + i) % 40
+				if got := c.Get(k, func() int { return k * 3 }); got != k*3 {
+					t.Errorf("Get(%d) = %d", k, got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Len(); got > 8 {
+		t.Fatalf("Len = %d, want ≤ 8 after all computations settle", got)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	var c Cache[int, int]
+	c.Get(1, func() int { return 1 })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Get(1, func() int { return 1 })
+	}
+}
+
+func ExampleCache() {
+	var c Cache[string, string]
+	c.SetLimit(100)
+	v := c.Get("fig6", func() string { return "simulated" })
+	fmt.Println(v, c.Stats().Misses)
+	// Output: simulated 1
+}

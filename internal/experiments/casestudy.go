@@ -20,7 +20,7 @@ func init() {
 func runCaseStudy(opt Options) ([]*stats.Table, error) {
 	p := caseStudyParams(opt)
 	cfg := caseStudyConfig(opt)
-	res, err := core.RunCaseStudy(p, cfg)
+	res, err := core.RunCaseStudyCtx(opt.ctx(), p, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,6 +29,19 @@ type Options struct {
 	// sweeps, Monte-Carlo shards, curve points): 1 runs serially, 0 uses
 	// runtime.NumCPU(). Results are identical at any worker count.
 	Workers int
+	// Context, when non-nil, cancels the driver's sweeps: paper-scale
+	// runs started on behalf of a remote client (the HTTP service) stop
+	// promptly with Context.Err() when the client disconnects. A nil
+	// Context means context.Background().
+	Context context.Context
+}
+
+// ctx returns the run context, defaulting to context.Background().
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns the paper-scale settings.

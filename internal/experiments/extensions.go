@@ -133,7 +133,7 @@ func runContModel(opt Options) ([]*stats.Table, error) {
 	} {
 		p := caseStudyParams(opt)
 		p.Contention = row.src
-		res, err := core.RunCaseStudy(p, caseStudyConfig(opt))
+		res, err := core.RunCaseStudyCtx(opt.ctx(), p, caseStudyConfig(opt))
 		if err != nil {
 			return nil, err
 		}

@@ -39,7 +39,7 @@ func runFig7(opt Options) ([]*stats.Table, error) {
 		p.Workers = opt.Workers
 		p.Contention = src
 		p.Load = l
-		s, err := core.AdaptedEnergySeries(p, grid)
+		s, err := core.AdaptedEnergySeriesCtx(opt.ctx(), p, grid)
 		if err != nil {
 			return nil, err
 		}
@@ -60,12 +60,12 @@ func runFig7(opt Options) ([]*stats.Table, error) {
 	p.Workers = opt.Workers
 	p.Contention = src
 	p.Load = 0.10
-	th1, err := core.Thresholds(p, grid)
+	th1, err := core.ThresholdsCtx(opt.ctx(), p, grid)
 	if err != nil {
 		return nil, err
 	}
 	p.Load = 0.42
-	th2, err := core.Thresholds(p, grid)
+	th2, err := core.ThresholdsCtx(opt.ctx(), p, grid)
 	if err != nil {
 		return nil, err
 	}

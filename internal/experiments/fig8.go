@@ -17,8 +17,14 @@ func init() {
 	})
 }
 
+// Fig8Sizes returns the paper's Fig. 8 payload grid (bytes); the HTTP
+// service uses it as the default /v1/sweep/payload grid.
+func Fig8Sizes() []int {
+	return []int{5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 123}
+}
+
 func runFig8(opt Options) ([]*stats.Table, error) {
-	sizes := []int{5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 123}
+	sizes := Fig8Sizes()
 	if opt.Quick {
 		sizes = []int{10, 40, 80, 123}
 	}
@@ -35,7 +41,7 @@ func runFig8(opt Options) ([]*stats.Table, error) {
 		p.Workers = opt.Workers
 		p.Contention = src
 		p.Load = l
-		s, err := core.EnergyVsPayload(p, sizes)
+		s, err := core.EnergyVsPayloadCtx(opt.ctx(), p, sizes)
 		if err != nil {
 			return nil, err
 		}

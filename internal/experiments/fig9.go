@@ -33,7 +33,7 @@ func caseStudyConfig(opt Options) core.CaseStudyConfig {
 }
 
 func runFig9(opt Options) ([]*stats.Table, error) {
-	res, err := core.RunCaseStudy(caseStudyParams(opt), caseStudyConfig(opt))
+	res, err := core.RunCaseStudyCtx(opt.ctx(), caseStudyParams(opt), caseStudyConfig(opt))
 	if err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ func runValidate(opt Options) ([]*stats.Table, error) {
 		Seed:        opt.Seed,
 	})
 	params := caseStudyParams(opt)
-	cs, err := core.RunCaseStudy(params, caseStudyConfig(opt))
+	cs, err := core.RunCaseStudyCtx(opt.ctx(), params, caseStudyConfig(opt))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func replicaTestConfig() Config {
+	return Config{Nodes: 20, Superframes: 4, Seed: 7}
+}
+
+func TestRunReplicasFirstReplicaMatchesRun(t *testing.T) {
+	cfg := replicaTestConfig()
+	rs, err := RunReplicas(context.Background(), cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := Run(cfg)
+	if rs.Results[0].AvgPowerPerNode != direct.AvgPowerPerNode ||
+		rs.Results[0].PacketsDelivered != direct.PacketsDelivered {
+		t.Fatalf("replica 0 diverges from Run at the base seed:\n%v\n%v",
+			rs.Results[0], direct)
+	}
+	if rs.Seeds[0] != cfg.Seed {
+		t.Fatalf("seed[0] = %d, want base %d", rs.Seeds[0], cfg.Seed)
+	}
+}
+
+func TestRunReplicasWorkerCountIndependent(t *testing.T) {
+	cfg := replicaTestConfig()
+	serial, err := RunReplicas(context.Background(), cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunReplicas(context.Background(), cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.AvgPowerUW != parallel.AvgPowerUW ||
+		serial.DeliveryRatio != parallel.DeliveryRatio ||
+		serial.PrCF != parallel.PrCF {
+		t.Fatalf("replica statistics depend on worker count:\n1 worker: %v\n4 workers: %v",
+			serial, parallel)
+	}
+	for i := range serial.Results {
+		if serial.Results[i].AvgPowerPerNode != parallel.Results[i].AvgPowerPerNode {
+			t.Fatalf("replica %d differs between worker counts", i)
+		}
+	}
+}
+
+func TestRunReplicasPrefixStability(t *testing.T) {
+	// Growing the replica count must not change the replicas already
+	// computed: seeds depend only on (base, index).
+	cfg := replicaTestConfig()
+	small, err := RunReplicas(context.Background(), cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunReplicas(context.Background(), cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Results {
+		if small.Seeds[i] != large.Seeds[i] {
+			t.Fatalf("seed %d changed with replica count", i)
+		}
+		if small.Results[i].DeliveryRatio != large.Results[i].DeliveryRatio {
+			t.Fatalf("replica %d changed with replica count", i)
+		}
+	}
+}
+
+func TestRunReplicasStatistics(t *testing.T) {
+	rs, err := RunReplicas(context.Background(), replicaTestConfig(), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Replicas != 5 || len(rs.Results) != 5 || len(rs.Seeds) != 5 {
+		t.Fatalf("shape: %d replicas, %d results, %d seeds", rs.Replicas, len(rs.Results), len(rs.Seeds))
+	}
+	if rs.AvgPowerUW.Mean <= 0 {
+		t.Fatalf("mean power %v not positive", rs.AvgPowerUW)
+	}
+	if rs.DeliveryRatio.Mean <= 0 || rs.DeliveryRatio.Mean > 1 {
+		t.Fatalf("delivery ratio %v outside (0,1]", rs.DeliveryRatio)
+	}
+	if rs.AvgPowerUW.Min > rs.AvgPowerUW.Mean || rs.AvgPowerUW.Max < rs.AvgPowerUW.Mean {
+		t.Fatalf("mean outside [min,max]: %+v", rs.AvgPowerUW)
+	}
+	if rs.AvgPowerUW.CI95 < 0 {
+		t.Fatalf("negative CI: %+v", rs.AvgPowerUW)
+	}
+}
+
+func TestRunReplicasCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := replicaTestConfig()
+	cfg.Superframes = 50
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunReplicas(ctx, cfg, 64, 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunReplicas did not honor cancellation")
+	}
+}

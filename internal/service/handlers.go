@@ -1,0 +1,584 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"dense802154/internal/channel"
+	"dense802154/internal/core"
+	"dense802154/internal/engine"
+	"dense802154/internal/experiments"
+	"dense802154/internal/netsim"
+	"dense802154/internal/stats"
+)
+
+// maxBatchParams caps one /v1/batch request; larger workloads page or
+// stream across several requests.
+const maxBatchParams = 10000
+
+// acquireWorkers is the request prologue: block (under the request context)
+// for a share of the server worker pool.
+func (s *Server) acquireWorkers(w http.ResponseWriter, r *http.Request, want int) (int, func(), bool) {
+	got, release, err := s.pool.acquire(r.Context(), want)
+	if err != nil {
+		writeCtxError(w, err)
+		return 0, nil, false
+	}
+	return got, release, true
+}
+
+// ---- POST /v1/evaluate ----
+
+type evaluateRequest struct {
+	Params ParamsWire `json:"params"`
+}
+
+type evaluateResponse struct {
+	Metrics MetricsWire `json:"metrics"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, req.Params.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+	p, aerr := req.Params.Params(got, got)
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	// Route through the batch path so the request context is honored (an
+	// expired deadline or a gone client is observed before work starts).
+	ms, err := core.EvaluateBatch(r.Context(), got, []core.Params{p})
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), "params")
+		return
+	}
+	writeJSON(w, http.StatusOK, evaluateResponse{Metrics: metricsWire(ms[0])})
+}
+
+// ---- POST /v1/batch ----
+
+type batchRequest struct {
+	Params []ParamsWire `json:"params"`
+	// Stream switches the response to NDJSON, one line per result as it
+	// completes (also selectable with the ?stream=1 query parameter).
+	Stream bool `json:"stream,omitempty"`
+}
+
+type batchResponse struct {
+	Metrics []MetricsWire `json:"metrics"`
+}
+
+// batchLine is one NDJSON streaming record. Result lines carry index (the
+// Params element) plus metrics or error, in completion order; the final
+// summary line carries done=true and the count, with no index.
+type batchLine struct {
+	Index   *int         `json:"index,omitempty"`
+	Metrics *MetricsWire `json:"metrics,omitempty"`
+	Error   string       `json:"error,omitempty"`
+	Done    bool         `json:"done,omitempty"`
+	Count   int          `json:"count,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Params) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: params must hold at least one element", "params")
+		return
+	}
+	if len(req.Params) > maxBatchParams {
+		writeError(w, http.StatusBadRequest, "batch too large", "params")
+		return
+	}
+	want := 0
+	for _, pw := range req.Params {
+		if pw.Workers > want {
+			want = pw.Workers
+		}
+	}
+	got, release, ok := s.acquireWorkers(w, r, want)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ps := make([]core.Params, len(req.Params))
+	for i, pw := range req.Params {
+		p, aerr := pw.Params(got, 1)
+		if aerr != nil {
+			aerr.Field = "params[" + strconv.Itoa(i) + "]." + aerr.Field
+			writeValidationError(w, aerr)
+			return
+		}
+		ps[i] = p
+	}
+
+	stream := req.Stream
+	if v := r.URL.Query().Get("stream"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "stream must be a boolean", "stream")
+			return
+		}
+		stream = b
+	}
+	if stream {
+		s.streamBatch(r.Context(), w, ps, got)
+		return
+	}
+
+	ms, err := core.EvaluateBatch(r.Context(), got, ps)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), "params")
+		return
+	}
+	out := make([]MetricsWire, len(ms))
+	for i, m := range ms {
+		out[i] = metricsWire(m)
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Metrics: out})
+}
+
+// streamBatch emits NDJSON, one batchLine per element as its evaluation
+// completes; a summary line with done=true closes the stream. Each line is
+// flushed so clients see results while the batch is still computing.
+func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, ps []core.Params, workers int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	lines := make(chan batchLine, workers)
+	go func() {
+		defer close(lines)
+		// Evaluation errors travel as per-line records, so the Map
+		// callback only fails on cancellation.
+		_ = engine.Map(ctx, workers, len(ps), func(i int) error {
+			m, err := core.Evaluate(ps[i])
+			idx := i
+			ln := batchLine{Index: &idx}
+			if err != nil {
+				ln.Error = err.Error()
+			} else {
+				mw := metricsWire(m)
+				ln.Metrics = &mw
+			}
+			select {
+			case lines <- ln:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	count := 0
+	for ln := range lines {
+		if err := enc.Encode(ln); err != nil {
+			return // client went away; Map sees ctx cancellation
+		}
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if ctx.Err() == nil {
+		_ = enc.Encode(batchLine{Done: true, Count: count})
+	}
+}
+
+// ---- POST /v1/casestudy ----
+
+type caseStudyRequest struct {
+	Params ParamsWire           `json:"params"`
+	Config *CaseStudyConfigWire `json:"config,omitempty"`
+}
+
+type caseStudyResponse struct {
+	Result CaseStudyResultWire `json:"result"`
+}
+
+func (s *Server) handleCaseStudy(w http.ResponseWriter, r *http.Request) {
+	var req caseStudyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cfg, aerr := req.Config.Config()
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, req.Params.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+	p, aerr := req.Params.Params(got, 1)
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	res, err := core.RunCaseStudyCtx(r.Context(), p, cfg)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	writeJSON(w, http.StatusOK, caseStudyResponse{Result: caseStudyResultWire(res)})
+}
+
+// ---- POST /v1/sweep/{pathloss,thresholds,payload} ----
+
+type pathLossSweepRequest struct {
+	Params ParamsWire `json:"params"`
+	// Losses is the path-loss grid in dB (default: 55..95 in 0.5 dB
+	// steps, the case-study population).
+	Losses []Float `json:"losses,omitempty"`
+}
+
+type energyCurveWire struct {
+	LevelIndex int     `json:"level_index"`
+	LevelDBm   Float   `json:"level_dbm"`
+	LossDB     []Float `json:"loss_db"`
+	EnergyJ    []Float `json:"energy_j_per_bit"`
+}
+
+type pathLossSweepResponse struct {
+	Curves []energyCurveWire `json:"curves"`
+}
+
+type thresholdWire struct {
+	FromLevel int   `json:"from_level"`
+	ToLevel   int   `json:"to_level"`
+	FromDBm   Float `json:"from_dbm"`
+	ToDBm     Float `json:"to_dbm"`
+	LossDB    Float `json:"loss_db"`
+}
+
+type thresholdsResponse struct {
+	Thresholds []thresholdWire `json:"thresholds"`
+}
+
+type payloadSweepRequest struct {
+	Params ParamsWire `json:"params"`
+	// Sizes is the payload grid in bytes (default: the Fig. 8 grid,
+	// 5..123).
+	Sizes []int `json:"sizes,omitempty"`
+}
+
+type payloadSweepResponse struct {
+	SizesBytes []int   `json:"sizes_bytes"`
+	EnergyJ    []Float `json:"energy_j_per_bit"`
+}
+
+// defaultLossGrid is the case-study population grid, derived from the same
+// scenario constants RunCaseStudy integrates over so the service default
+// cannot drift from the in-process one.
+func defaultLossGrid() []float64 {
+	cfg := core.DefaultCaseStudy()
+	return channel.LossGrid(cfg.MinLossDB, cfg.MaxLossDB, cfg.LossGridPoints)
+}
+
+// defaultPayloadSizes is the Fig. 8 payload grid, shared with the fig8
+// experiment driver.
+func defaultPayloadSizes() []int { return experiments.Fig8Sizes() }
+
+// sweepGrid validates the request grid or falls back to the default.
+func sweepGrid(losses []Float) ([]float64, *Error) {
+	if len(losses) == 0 {
+		return defaultLossGrid(), nil
+	}
+	if len(losses) > 100000 {
+		return nil, errf("losses", "grid too large (%d points)", len(losses))
+	}
+	return float64s(losses), nil
+}
+
+func (s *Server) handleSweepPathLoss(w http.ResponseWriter, r *http.Request) {
+	var req pathLossSweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	losses, aerr := sweepGrid(req.Losses)
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, req.Params.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+	p, aerr := req.Params.Params(got, 1)
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	curves, err := core.EnergyVsPathLossCtx(r.Context(), p, losses)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	out := make([]energyCurveWire, len(curves))
+	for i, c := range curves {
+		out[i] = energyCurveWire{
+			LevelIndex: c.LevelIndex,
+			LevelDBm:   Float(c.LevelDBm),
+			LossDB:     floats(c.LossDB),
+			EnergyJ:    floats(c.EnergyJ),
+		}
+	}
+	writeJSON(w, http.StatusOK, pathLossSweepResponse{Curves: out})
+}
+
+func (s *Server) handleSweepThresholds(w http.ResponseWriter, r *http.Request) {
+	var req pathLossSweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	losses, aerr := sweepGrid(req.Losses)
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, req.Params.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+	p, aerr := req.Params.Params(got, 1)
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	ths, err := core.ThresholdsCtx(r.Context(), p, losses)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	out := make([]thresholdWire, len(ths))
+	for i, t := range ths {
+		out[i] = thresholdWire{
+			FromLevel: t.FromLevel,
+			ToLevel:   t.ToLevel,
+			FromDBm:   Float(t.FromDBm),
+			ToDBm:     Float(t.ToDBm),
+			LossDB:    Float(t.LossDB),
+		}
+	}
+	writeJSON(w, http.StatusOK, thresholdsResponse{Thresholds: out})
+}
+
+func (s *Server) handleSweepPayload(w http.ResponseWriter, r *http.Request) {
+	var req payloadSweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sizes := req.Sizes
+	if len(sizes) == 0 {
+		sizes = defaultPayloadSizes()
+	}
+	if len(sizes) > 100000 {
+		writeError(w, http.StatusBadRequest, "grid too large", "sizes")
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, req.Params.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+	p, aerr := req.Params.Params(got, 1)
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	series, err := core.EnergyVsPayloadCtx(r.Context(), p, sizes)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	writeJSON(w, http.StatusOK, payloadSweepResponse{
+		SizesBytes: sizes,
+		EnergyJ:    floats(series.Y),
+	})
+}
+
+// ---- POST /v1/simulate ----
+
+type simulateRequest struct {
+	Config *SimConfigWire `json:"config,omitempty"`
+	// Replicas is the number of independent replications merged into the
+	// confidence statistics (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Workers is the requested parallelism (clamped to the server pool).
+	Workers int `json:"workers,omitempty"`
+}
+
+type simulateResponse struct {
+	Replicas int             `json:"replicas"`
+	Seeds    []int64         `json:"seeds"`
+	Results  []SimResultWire `json:"results"`
+
+	AvgPowerUW    ReplicaStatWire `json:"avg_power_uw"`
+	DeliveryRatio ReplicaStatWire `json:"delivery_ratio"`
+	PrFail        ReplicaStatWire `json:"pr_fail"`
+	PrCF          ReplicaStatWire `json:"pr_cf"`
+	PrCol         ReplicaStatWire `json:"pr_col"`
+	NCCA          ReplicaStatWire `json:"ncca"`
+	TcontMS       ReplicaStatWire `json:"tcont_ms"`
+	MeanDelayMS   ReplicaStatWire `json:"mean_delay_ms"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cfg, aerr := req.Config.Config()
+	if aerr != nil {
+		writeValidationError(w, aerr)
+		return
+	}
+	if req.Replicas < 0 || req.Replicas > 4096 {
+		writeError(w, http.StatusBadRequest, "replicas outside 0..4096", "replicas")
+		return
+	}
+	n := req.Replicas
+	if n < 1 {
+		n = 1
+	}
+	got, release, ok := s.acquireWorkers(w, r, req.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+
+	rs, err := netsim.RunReplicas(r.Context(), cfg, n, got)
+	if err != nil {
+		writeCtxError(w, err)
+		return
+	}
+	resp := simulateResponse{
+		Replicas:      rs.Replicas,
+		Seeds:         rs.Seeds,
+		Results:       make([]SimResultWire, len(rs.Results)),
+		AvgPowerUW:    replicaStatWire(rs.AvgPowerUW),
+		DeliveryRatio: replicaStatWire(rs.DeliveryRatio),
+		PrFail:        replicaStatWire(rs.PrFail),
+		PrCF:          replicaStatWire(rs.PrCF),
+		PrCol:         replicaStatWire(rs.PrCol),
+		NCCA:          replicaStatWire(rs.NCCA),
+		TcontMS:       replicaStatWire(rs.TcontMS),
+		MeanDelayMS:   replicaStatWire(rs.MeanDelayMS),
+	}
+	for i, res := range rs.Results {
+		resp.Results[i] = simResultWire(rs.Seeds[i], res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- GET /v1/experiments, POST /v1/experiments/{name} ----
+
+type experimentInfo struct {
+	Name        string `json:"name"`
+	Title       string `json:"title"`
+	Description string `json:"description"`
+}
+
+type experimentListResponse struct {
+	Experiments []experimentInfo `json:"experiments"`
+}
+
+type experimentRunRequest struct {
+	// Quick shrinks grids and Monte-Carlo runs as in ExperimentOpts.
+	Quick bool `json:"quick,omitempty"`
+	// Seed drives all randomized components (default 2005).
+	Seed *int64 `json:"seed,omitempty"`
+	// Workers is the requested parallelism (clamped to the server pool).
+	Workers int `json:"workers,omitempty"`
+}
+
+type experimentRunResponse struct {
+	Name   string         `json:"name"`
+	Tables []*stats.Table `json:"tables"`
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	all := experiments.All()
+	resp := experimentListResponse{Experiments: make([]experimentInfo, len(all))}
+	for i, e := range all {
+		resp.Experiments[i] = experimentInfo{Name: e.Name, Title: e.Title, Description: e.Description}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	exp, ok := experiments.ByName(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment "+name, "name")
+		return
+	}
+	var req experimentRunRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	got, release, okW := s.acquireWorkers(w, r, req.Workers)
+	if !okW {
+		return
+	}
+	defer release()
+
+	opt := experiments.DefaultOptions()
+	opt.Quick = req.Quick
+	if req.Seed != nil {
+		opt.Seed = *req.Seed
+	}
+	opt.Workers = got
+	opt.Context = r.Context()
+	tables, err := exp.Run(opt)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error(), "")
+		return
+	}
+	writeJSON(w, http.StatusOK, experimentRunResponse{Name: name, Tables: tables})
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"context"
+	"runtime"
+)
+
+// limiter is the server-wide worker-token pool: every request that fans out
+// onto engine goroutines first acquires tokens here, so N concurrent
+// clients share one CPU budget instead of each spawning NumCPU workers.
+// Because every sweep in the repository is worker-count independent, a
+// request granted fewer workers than it asked for computes the exact same
+// bytes, only slower.
+type limiter struct {
+	capacity int
+	tokens   chan struct{}
+}
+
+// newLimiter builds a pool of capacity tokens (≤ 0 selects NumCPU).
+func newLimiter(capacity int) *limiter {
+	if capacity < 1 {
+		capacity = runtime.NumCPU()
+	}
+	l := &limiter{capacity: capacity, tokens: make(chan struct{}, capacity)}
+	for i := 0; i < capacity; i++ {
+		l.tokens <- struct{}{}
+	}
+	return l
+}
+
+// acquire blocks until at least one token is free, then greedily takes up
+// to want tokens (want ≤ 0 asks for the whole pool). It returns the number
+// granted and a release function; a canceled ctx aborts the wait with
+// ctx.Err(). Requests therefore queue under load instead of oversubscribing
+// the CPUs, and a lone request still gets the whole machine.
+func (l *limiter) acquire(ctx context.Context, want int) (int, func(), error) {
+	if want <= 0 || want > l.capacity {
+		want = l.capacity
+	}
+	// An already-dead context never gets a grant: when both a token and
+	// ctx.Done are ready, select would pick at random.
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	select {
+	case <-l.tokens:
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+	got := 1
+greedy:
+	for got < want {
+		select {
+		case <-l.tokens:
+			got++
+		default:
+			break greedy
+		}
+	}
+	release := func() {
+		for i := 0; i < got; i++ {
+			l.tokens <- struct{}{}
+		}
+	}
+	return got, release, nil
+}
+
+// inUse reports how many tokens are currently held by requests.
+func (l *limiter) inUse() int { return l.capacity - len(l.tokens) }

@@ -1,0 +1,240 @@
+// Package service exposes the whole model surface of this repository as an
+// HTTP JSON API — the batch-evaluation front-end the production deployment
+// story needs: many clients submit analytical-model evaluations, paper
+// sweeps, case-study integrations, discrete-event simulations and
+// registered experiment drivers to one process that shares a bounded
+// contention cache and a server-wide worker pool.
+//
+// # Endpoints
+//
+//	GET  /healthz                    liveness probe
+//	GET  /v1/stats                   cache and request counters
+//	POST /v1/evaluate                one Params → Metrics
+//	POST /v1/batch                   many Params → []Metrics (NDJSON with ?stream=1)
+//	POST /v1/casestudy               §5 population integration
+//	POST /v1/sweep/pathloss          Fig. 7 energy-vs-path-loss curve family
+//	POST /v1/sweep/thresholds        Fig. 7 link-adaptation switching points
+//	POST /v1/sweep/payload           Fig. 8 energy-vs-payload curve
+//	POST /v1/simulate                netsim with server-side parallel replications
+//	GET  /v1/experiments             registered paper drivers
+//	POST /v1/experiments/{name}      run one driver
+//
+// # Concurrency model
+//
+// The server owns a pool of worker tokens (Config.Workers, default NumCPU).
+// Every request acquires at least one token before computing and greedily
+// takes as many as are free, up to what it asked for; concurrent clients
+// therefore share the machine instead of each oversubscribing it. Because
+// every sweep in the repository is worker-count independent, the grant
+// changes only latency, never results: the JSON a client receives is bit
+// for bit what an in-process Evaluate/EvaluateBatch/RunCaseStudy call
+// returns. Request contexts flow into every sweep, so a disconnected
+// client cancels its computation end to end; cancellation is observed
+// between evaluation points, batch elements and simulation replicas — an
+// in-flight Monte-Carlo contention characterization (bounded by the wire
+// cap on its superframes) runs to completion and is cached for the next
+// request.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dense802154/internal/contention"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the server-wide worker-token budget shared by all
+	// requests (0 ⇒ NumCPU).
+	Workers int
+	// CacheLimit bounds the process-wide contention cache to this many
+	// Monte-Carlo characterizations with LRU eviction (0 = unbounded).
+	// NewServer installs the bound unconditionally: the cache is process
+	// state, so the most recently constructed server wins.
+	CacheLimit int
+	// RequestTimeout is the per-request computation deadline; requests
+	// exceeding it are canceled (at the granularity the package doc
+	// describes) and answered 503 (0 = no deadline).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0 ⇒ 8 MiB).
+	MaxBodyBytes int64
+	// Log receives one line per request (nil disables logging).
+	Log *log.Logger
+}
+
+// Server is the HTTP front-end. It implements http.Handler and is safe for
+// concurrent use; construct it with NewServer.
+type Server struct {
+	cfg  Config
+	pool *limiter
+	mux  *http.ServeMux
+
+	started  time.Time
+	requests atomic.Uint64
+	inflight atomic.Int64
+}
+
+// NewServer builds the service with its routes, worker pool and cache
+// bound installed.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    newLimiter(cfg.Workers),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	contention.SetCacheLimit(cfg.CacheLimit)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/casestudy", s.handleCaseStudy)
+	s.mux.HandleFunc("POST /v1/sweep/pathloss", s.handleSweepPathLoss)
+	s.mux.HandleFunc("POST /v1/sweep/thresholds", s.handleSweepThresholds)
+	s.mux.HandleFunc("POST /v1/sweep/payload", s.handleSweepPayload)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("POST /v1/experiments/{name}", s.handleExperimentRun)
+	return s
+}
+
+// ServeHTTP implements http.Handler: body cap, per-request deadline,
+// in-flight accounting and logging around the route handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// statsResponse is the /v1/stats body.
+type statsResponse struct {
+	UptimeSeconds Float `json:"uptime_seconds"`
+
+	Requests uint64 `json:"requests_total"`
+	InFlight int64  `json:"requests_in_flight"`
+
+	WorkerBudget int `json:"worker_budget"`
+	WorkersBusy  int `json:"workers_busy"`
+
+	Cache cacheStatsWire `json:"contention_cache"`
+}
+
+// cacheStatsWire is the JSON form of engine.CacheStats.
+type cacheStatsWire struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Limit     int    `json:"limit"`
+	HitRate   Float  `json:"hit_rate"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := contention.CacheStats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: Float(time.Since(s.started).Seconds()),
+		Requests:      s.requests.Load(),
+		InFlight:      s.inflight.Load(),
+		WorkerBudget:  s.pool.capacity,
+		WorkersBusy:   s.pool.inUse(),
+		Cache: cacheStatsWire{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+			Limit:     cs.Limit,
+			HitRate:   Float(cs.HitRate()),
+		},
+	})
+}
+
+// errorBody is the envelope of every non-2xx JSON response.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// writeError renders a structured error response.
+func writeError(w http.ResponseWriter, status int, message, field string) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Status: status, Message: message, Field: field}})
+}
+
+// writeValidationError renders a codec *Error as a 400.
+func writeValidationError(w http.ResponseWriter, err *Error) {
+	writeError(w, http.StatusBadRequest, err.Message, err.Field)
+}
+
+// writeCtxError maps a context failure to 503 (deadline) or 499-style 503
+// (client gone; the connection is usually dead anyway).
+func writeCtxError(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusServiceUnavailable, err.Error(), "")
+}
+
+// writeJSON renders v with the JSON content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// decodeJSON parses the request body into dst with strict field checking.
+// An empty body leaves dst at its zero value (every request type has full
+// defaults). Malformed payloads, unknown fields and trailing garbage are
+// 400s; an oversized body is a 413.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true // empty body: all defaults
+		}
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds "+strconv.FormatInt(maxErr.Limit, 10)+" bytes", "")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error(), "")
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body", "")
+		return false
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package dense802154_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dense802154"
+)
+
+func TestFacadeHTTPHandler(t *testing.T) {
+	ts := httptest.NewServer(dense802154.NewHTTPHandler(dense802154.ServeConfig{Workers: 1}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/evaluate", "application/json",
+		strings.NewReader(`{"params":{"contention":{"superframes":8,"seed":3}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d", resp.StatusCode)
+	}
+	var body struct {
+		Metrics struct {
+			AvgPowerW float64 `json:"avg_power_w"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if uw := body.Metrics.AvgPowerW * 1e6; uw < 100 || uw > 400 {
+		t.Fatalf("mid-loss node power over HTTP = %v µW, implausible", uw)
+	}
+}
+
+func TestFacadeSimulateReplicas(t *testing.T) {
+	cfg := dense802154.SimConfig{Nodes: 15, Superframes: 3, Seed: 11}
+	rs, err := dense802154.SimulateReplicas(context.Background(), cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Replicas != 3 || len(rs.Results) != 3 {
+		t.Fatalf("shape: %+v", rs)
+	}
+	direct := dense802154.Simulate(cfg)
+	if rs.Results[0].AvgPowerPerNode != direct.AvgPowerPerNode {
+		t.Fatal("replica 0 does not reproduce Simulate at the base seed")
+	}
+	if rs.AvgPowerUW.Mean <= 0 {
+		t.Fatalf("implausible power stat %+v", rs.AvgPowerUW)
+	}
+}
+
+func TestFacadeContentionCacheControls(t *testing.T) {
+	dense802154.ContentionCacheReset()
+	t.Cleanup(func() {
+		dense802154.SetContentionCacheLimit(0)
+		dense802154.ContentionCacheReset()
+	})
+	dense802154.SetContentionCacheLimit(2)
+
+	// Three distinct contention points through the bounded cache.
+	for _, payload := range []int{20, 60, 120} {
+		p := dense802154.DefaultParams()
+		p.Workers = 1
+		p.PayloadBytes = payload
+		if _, err := dense802154.Evaluate(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := dense802154.ContentionCacheStats()
+	if st.Limit != 2 {
+		t.Fatalf("limit = %d, want 2", st.Limit)
+	}
+	if st.Entries > 2 {
+		t.Fatalf("entries = %d exceeds the bound", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	if st.Misses < 3 {
+		t.Fatalf("misses = %d, want ≥ 3 distinct simulations", st.Misses)
+	}
+}
