@@ -28,6 +28,7 @@ func benchOpts(i int) experiments.Options {
 // runDriver executes a registered experiment driver b.N times.
 func runDriver(b *testing.B, name string) {
 	b.Helper()
+	b.ReportAllocs()
 	e, ok := experiments.ByName(name)
 	if !ok {
 		b.Fatalf("experiment %q not registered", name)
@@ -123,6 +124,7 @@ func BenchmarkImprovements(b *testing.B) {
 // Monte-Carlo contention source per iteration.
 func benchCaseStudyWorkers(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := dense802154.DefaultCaseStudy()
 	for i := 0; i < b.N; i++ {
 		p := dense802154.DefaultParams()
@@ -149,6 +151,7 @@ func BenchmarkCaseStudyParallel(b *testing.B) { benchCaseStudyWorkers(b, 0) }
 // benchFig6Workers rebuilds the four Fig. 6 curve families.
 func benchFig6Workers(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	loads := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	for i := 0; i < b.N; i++ {
 		base := contention.Config{
@@ -209,6 +212,7 @@ func BenchmarkValPtrDistribution(b *testing.B) { runDriver(b, "ptr") }
 
 // BenchmarkModelEvaluate measures one closed-form model evaluation.
 func BenchmarkModelEvaluate(b *testing.B) {
+	b.ReportAllocs()
 	p := dense802154.DefaultParams()
 	p.Contention = contention.Approx{} // keep it pure-analytical
 	p.TXLevelIndex = 7
@@ -223,6 +227,7 @@ func BenchmarkModelEvaluate(b *testing.B) {
 // BenchmarkContentionMC measures one Monte-Carlo superframe of the
 // case-study channel.
 func BenchmarkContentionMC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		contention.Simulate(contention.Config{
 			TargetLoad: 0.433, Superframes: 1, Seed: int64(i),
@@ -233,6 +238,7 @@ func BenchmarkContentionMC(b *testing.B) {
 // BenchmarkNetsimSuperframe measures one discrete-event superframe of the
 // 100-node channel.
 func BenchmarkNetsimSuperframe(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		netsim.Run(netsim.Config{Nodes: 100, Superframes: 1, Seed: int64(i)})
 	}
@@ -240,6 +246,7 @@ func BenchmarkNetsimSuperframe(b *testing.B) {
 
 // BenchmarkDespreadByte measures chip-level despreading of one octet.
 func BenchmarkDespreadByte(b *testing.B) {
+	b.ReportAllocs()
 	chips := phy.SpreadBytes([]byte{0xA5})
 	for i := 0; i < b.N; i++ {
 		phy.DespreadBytes(chips)

@@ -1,0 +1,315 @@
+// Command wsn-bench runs the repository's tracked benchmark suite — the
+// serial/parallel engine pairs and the hot-path micro-benchmarks of the
+// zero-allocation simulation cores — and emits a machine-readable JSON
+// report (ns/op, allocs/op, B/op per benchmark).
+//
+// The committed BENCH_*.json files are the performance trajectory of the
+// repository: each perf-focused PR regenerates the report and the next one
+// diffs against it, so regressions surface as numbers rather than
+// anecdotes.
+//
+// Usage:
+//
+//	wsn-bench                          # full suite to stdout
+//	wsn-bench -out BENCH_PR3.json      # refresh the tracked baseline
+//	wsn-bench -benchtime 100ms -quick  # CI smoke pass
+//	wsn-bench -diff BENCH_PR3.json     # compare this run to the baseline
+//
+// -diff is warn-only by design: it prints per-benchmark ratios and flags
+// ns/op slowdowns beyond -warn (default 1.5x) and any allocs/op increase,
+// but always exits 0 so noisy CI hosts cannot block merges. Numbers are
+// hardware-dependent; allocs/op is the stable cross-machine signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"dense802154"
+	"dense802154/internal/contention"
+	"dense802154/internal/core"
+	"dense802154/internal/des"
+	"dense802154/internal/engine"
+	"dense802154/internal/netsim"
+)
+
+// benchResult is one benchmark's measurement in the JSON report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the wsn-bench/v1 JSON document.
+type report struct {
+	Schema      string        `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Benchtime   string        `json:"benchtime"`
+	Quick       bool          `json:"quick"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+// namedBench pairs a stable report name with the benchmark body.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// suite returns the tracked benchmark set. quick shrinks the Monte-Carlo
+// workloads so a CI smoke pass stays under a few seconds; quick and full
+// runs are not comparable to each other, only to runs of the same mode.
+//
+// The bodies mirror the like-named benchmarks in bench_test.go (which `go
+// test -bench` runs); when changing a workload constant there, update the
+// twin here so the tracked BENCH_*.json trajectory keeps measuring the
+// same thing.
+func suite(quick bool) []namedBench {
+	mcSuperframes := 64
+	fig6Superframes := 32
+	fig6Payloads := []int{10, 20, 50, 100}
+	if quick {
+		mcSuperframes = 16
+		fig6Superframes = 8
+		fig6Payloads = []int{20, 100}
+	}
+	loads := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	if quick {
+		loads = []float64{0.1, 0.4, 0.7}
+	}
+
+	caseStudy := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := dense802154.DefaultCaseStudy()
+			for i := 0; i < b.N; i++ {
+				p := dense802154.DefaultParams()
+				p.Workers = workers
+				p.Contention = contention.NewMCSource(contention.Config{
+					Superframes: mcSuperframes,
+					Seed:        int64(1_000_000*(workers+1) + i),
+					Workers:     workers,
+				})
+				if _, err := dense802154.RunCaseStudy(p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	fig6 := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base := contention.Config{
+					Superframes: fig6Superframes,
+					Seed:        int64(2_000_000*(workers+1) + i),
+					Workers:     workers,
+				}
+				for _, L := range fig6Payloads {
+					contention.BuildCurve(L, loads, base)
+				}
+			}
+		}
+	}
+
+	return []namedBench{
+		{"ContentionMC", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				contention.Simulate(contention.Config{
+					TargetLoad: 0.433, Superframes: 1, Seed: int64(i),
+				})
+			}
+		}},
+		{"ContentionMCShard", func(b *testing.B) {
+			// One full 8-superframe shard: the unit of Monte-Carlo
+			// parallelism.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				contention.Simulate(contention.Config{
+					TargetLoad: 0.433, Superframes: 8, Seed: int64(i), Workers: 1,
+				})
+			}
+		}},
+		{"NetsimSuperframe", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				netsim.Run(netsim.Config{Nodes: 100, Superframes: 1, Seed: int64(i)})
+			}
+		}},
+		{"DESScheduleFire", func(b *testing.B) {
+			// Typed-dispatch schedule→fire churn through the value heap.
+			b.ReportAllocs()
+			s := des.New(1)
+			s.SetDispatcher(func(kind, actor int32, arg time.Duration) {})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ScheduleEvent(time.Duration(i%64)*time.Microsecond, 0, 0, 0)
+				if i%64 == 63 {
+					s.Run()
+				}
+			}
+			s.Run()
+		}},
+		{"EngineRNG", func(b *testing.B) {
+			b.ReportAllocs()
+			r := engine.NewRNG(1)
+			for i := 0; i < b.N; i++ {
+				_ = r.Uint64()
+			}
+		}},
+		{"ModelEvaluate", func(b *testing.B) {
+			b.ReportAllocs()
+			p := dense802154.DefaultParams()
+			p.Contention = contention.Approx{}
+			p.TXLevelIndex = 7
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Evaluate(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CaseStudySerial", caseStudy(1)},
+		{"CaseStudyParallel", caseStudy(0)},
+		{"Fig6ContentionSerial", fig6(1)},
+		{"Fig6ContentionParallel", fig6(0)},
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	quick := flag.Bool("quick", false, "shrink Monte-Carlo workloads for a smoke pass")
+	runFilter := flag.String("run", "", "regexp selecting benchmarks by name")
+	diff := flag.String("diff", "", "baseline JSON report to compare against (warn-only)")
+	warn := flag.Float64("warn", 1.5, "ns/op slowdown ratio that triggers a warning with -diff")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-bench: set benchtime: %v\n", err)
+		os.Exit(1)
+	}
+
+	var filter *regexp.Regexp
+	if *runFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(*runFilter); err != nil {
+			fmt.Fprintf(os.Stderr, "wsn-bench: bad -run: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := report{
+		Schema:      "wsn-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Benchtime:   benchtime.String(),
+		Quick:       *quick,
+	}
+	for _, nb := range suite(*quick) {
+		if filter != nil && !filter.MatchString(nb.name) {
+			continue
+		}
+		dense802154.ContentionCacheReset() // fresh cache per benchmark
+		r := testing.Benchmark(nb.fn)
+		res := benchResult{
+			Name:        nb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "%-24s %12d it %14.0f ns/op %10d B/op %8d allocs/op\n",
+			nb.name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-bench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+
+	if *diff != "" {
+		compare(*diff, rep, *warn)
+	}
+}
+
+// compare prints this run against a baseline report. Warnings never change
+// the exit code: wall-clock numbers are machine-dependent, so the diff
+// informs reviewers rather than gating them; allocs/op increases are the
+// strong signal (they are hardware-independent).
+func compare(path string, cur report, warnRatio float64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-bench: read baseline: %v\n", err)
+		return
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-bench: parse baseline: %v\n", err)
+		return
+	}
+	if base.Quick != cur.Quick {
+		fmt.Fprintf(os.Stderr, "wsn-bench: note: baseline quick=%v vs run quick=%v — ns/op ratios reflect workload size, not regressions\n",
+			base.Quick, cur.Quick)
+	}
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "\n%-24s %14s %14s %8s %18s\n", "benchmark", "base ns/op", "now ns/op", "ratio", "allocs base→now")
+	warned := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-24s %14s %14.0f %8s %18s (new)\n", c.Name, "-", c.NsPerOp, "-", fmt.Sprintf("-→%d", c.AllocsPerOp))
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		mark := ""
+		if base.Quick == cur.Quick && ratio > warnRatio {
+			mark = "  WARN: slower"
+			warned++
+		}
+		// Parallel benchmarks jitter by a couple of allocations with
+		// goroutine scheduling; warn only beyond that noise floor.
+		allocSlack := b.AllocsPerOp / 10
+		if allocSlack < 2 {
+			allocSlack = 2
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
+			mark += "  WARN: more allocs"
+			warned++
+		}
+		fmt.Fprintf(os.Stderr, "%-24s %14.0f %14.0f %7.2fx %18s%s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, ratio, fmt.Sprintf("%d→%d", b.AllocsPerOp, c.AllocsPerOp), mark)
+	}
+	if warned > 0 {
+		fmt.Fprintf(os.Stderr, "\nwsn-bench: %d warning(s) vs %s (warn-only; not failing the run)\n", warned, path)
+	} else {
+		fmt.Fprintf(os.Stderr, "\nwsn-bench: no regressions vs %s\n", path)
+	}
+}

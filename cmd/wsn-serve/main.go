@@ -11,6 +11,14 @@
 // The server drains in-flight requests on SIGINT/SIGTERM before exiting.
 // See the package documentation of internal/service for the endpoint list
 // and doc.go for example invocations.
+//
+// Profiling: -pprof 127.0.0.1:6060 exposes the standard net/http/pprof
+// endpoints (/debug/pprof/profile, /heap, /allocs, …) on a separate
+// listener, so production profiles of the simulation cores can be captured
+// without widening the public API surface:
+//
+//	wsn-serve -addr :8080 -pprof 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -28,6 +37,19 @@ import (
 
 	"dense802154/internal/service"
 )
+
+// pprofHandler builds the debug mux by hand (instead of blank-importing
+// net/http/pprof) so the profiling endpoints never leak onto the service's
+// own handler.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -38,6 +60,7 @@ func main() {
 		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		quiet     = flag.Bool("quiet", false, "disable per-request logging")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -61,6 +84,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+		logger.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Printf("listening on %s (workers=%d cache=%d timeout=%v)",
@@ -75,6 +113,9 @@ func main() {
 	logger.Printf("shutting down (drain %v)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if pprofSrv != nil {
+		_ = pprofSrv.Close()
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		logger.Printf("forced shutdown: %v", err)
 		_ = srv.Close()

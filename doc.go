@@ -80,7 +80,42 @@
 // failures return structured 400 bodies naming the offending field, and a
 // disconnecting client cancels its computation (observed between grid
 // points, batch elements and replicas). See examples/serveclient for a
-// complete client.
+// complete client. -pprof 127.0.0.1:6060 exposes net/http/pprof on a
+// separate listener for production profiles of the simulation cores.
+//
+// # Zero-allocation simulation cores
+//
+// Both event-driven cores run without steady-state heap allocation, so
+// sustained Monte-Carlo and discrete-event workloads are CPU-bound rather
+// than garbage-collector-bound:
+//
+//   - internal/des stores events by value in a flat 4-ary min-heap.
+//     Models register one typed Dispatcher and schedule (kind, actor,
+//     instant) triples instead of per-event closures; cancellation uses
+//     generation-checked slot handles with free-list reuse.
+//   - The Monte-Carlo contention shards (internal/contention) keep their
+//     transaction population in a flat value slice with the CSMA/CA state
+//     machines embedded (mac.Transaction.Init reuses storage in place),
+//     recycle whole shards through a sync.Pool, and compare busy windows
+//     with precomputed integer slot bounds.
+//   - Every hot random stream is an engine.RNG — a single-word splitmix64
+//     rand.Source64 — embedded by value and seeded via engine.DeriveSeed,
+//     preserving bit-identical results at any worker count.
+//
+// # Tracked benchmarks
+//
+// cmd/wsn-bench runs the tracked suite (serial/parallel engine pairs plus
+// hot-path micro-benchmarks) and writes a JSON report of ns/op, B/op and
+// allocs/op per benchmark:
+//
+//	go run ./cmd/wsn-bench -out BENCH_PR3.json   # refresh the baseline
+//	go run ./cmd/wsn-bench -diff BENCH_PR3.json  # compare a fresh run
+//
+// The committed BENCH_*.json files form the repository's performance
+// trajectory; CI regenerates a -quick report per push and diffs it
+// warn-only against the baseline (allocs/op is the machine-independent
+// signal, and dedicated allocation-budget tests fail hard on boxing
+// regressions).
 //
 // See the examples directory for runnable scenarios and EXPERIMENTS.md for
 // the paper-versus-reproduction comparison of every figure.

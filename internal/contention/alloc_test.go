@@ -1,0 +1,47 @@
+package contention
+
+import (
+	"testing"
+)
+
+// TestSimulateAllocBudget is the allocation-regression guard for the
+// Monte-Carlo event loop: once the shard pool is warm, a serial Simulate
+// call must stay within a fixed allocation budget (the shard-pointer table
+// plus pool bookkeeping — a couple of allocations, versus hundreds per
+// superframe before the value-typed rewrite). A regression that reintroduces
+// per-event or per-packet boxing fails this test rather than silently
+// landing.
+func TestSimulateAllocBudget(t *testing.T) {
+	cfg := Config{TargetLoad: 0.433, Superframes: 8, Seed: 1, Workers: 1}
+	// Warm the shard pool and size the reusable arrays.
+	for i := 0; i < 3; i++ {
+		Simulate(cfg)
+	}
+	seed := int64(100)
+	allocs := testing.AllocsPerRun(20, func() {
+		c := cfg
+		c.Seed = seed
+		seed++
+		Simulate(c)
+	})
+	// Steady state measures ~2 allocs; the budget leaves headroom for a GC
+	// emptying the sync.Pool mid-run without tolerating a boxing
+	// regression (which costs hundreds).
+	const budget = 40
+	if allocs > budget {
+		t.Fatalf("Simulate allocated %v per run, budget %d", allocs, budget)
+	}
+	t.Logf("Simulate steady-state allocations per run: %v", allocs)
+}
+
+// BenchmarkSimulateShard measures the per-shard event loop in isolation —
+// the unit of Monte-Carlo parallelism (8 superframes at case-study load).
+func BenchmarkSimulateShard(b *testing.B) {
+	b.ReportAllocs()
+	cfg := Config{TargetLoad: 0.433, Superframes: shardSuperframes, Seed: 1, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		Simulate(cfg)
+	}
+}

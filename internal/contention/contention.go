@@ -18,11 +18,10 @@
 package contention
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 	"time"
 
 	"dense802154/internal/engine"
@@ -157,37 +156,113 @@ const (
 	evCCA
 )
 
+// event is one value-typed entry of a shard's flat event heap; txn indexes
+// the shard's transaction slice, so the queue carries no pointers.
 type event struct {
 	slot int64
-	kind int
-	seq  int
-	txn  *txn
+	seq  int32
+	kind uint8
+	txn  int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].slot != h[j].slot {
-		return h[i].slot < h[j].slot
+// evBefore is the heap order: (slot, kind, seq).
+func evBefore(a, b *event) bool {
+	if a.slot != b.slot {
+		return a.slot < b.slot
 	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// txn is one packet's channel-access attempt.
+// txn is one packet's channel-access attempt. The mac.Transaction is
+// embedded by value and re-initialized in place, so a shard's whole
+// population lives in one flat slice with no per-packet allocation.
 type txn struct {
-	t           *mac.Transaction
+	t           mac.Transaction
 	arrivalSlot int64
 	endSlot     int64
 	granted     bool
 	failed      bool
 	collided    bool
+}
+
+// shard is the reusable state of one Monte-Carlo shard: the value-typed
+// 4-ary event heap, the flat transaction population, the same-slot starter
+// scratch list and the shard's own single-word RNG. Shards are recycled
+// through shardPool, so a steady stream of Simulate calls reuses the same
+// backing arrays instead of re-growing them.
+type shard struct {
+	rng      engine.RNG
+	events   []event
+	txns     []txn
+	starters []int32
+}
+
+var shardPool = sync.Pool{New: func() any { return new(shard) }}
+
+func (s *shard) reset(seed int64) {
+	s.rng = engine.NewRNG(seed)
+	s.events = s.events[:0]
+	s.txns = s.txns[:0]
+	s.starters = s.starters[:0]
+}
+
+// push sifts a new event into the 4-ary min-heap. The sift logic is a
+// deliberate sibling of internal/des's (siftUp/siftDown): each copy is
+// specialized to its own event key so the hottest comparison stays inlined
+// and interface-free — change one, check the other.
+func (s *shard) push(ev event) {
+	h := append(s.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !evBefore(&ev, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	s.events = h
+}
+
+// pop removes and returns the heap minimum.
+func (s *shard) pop() event {
+	h := s.events
+	min := h[0]
+	n := len(h) - 1
+	ev := h[n]
+	s.events = h[:n]
+	if n == 0 {
+		return min
+	}
+	h = h[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if evBefore(&h[c], &h[best]) {
+				best = c
+			}
+		}
+		if !evBefore(&h[best], &ev) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ev
+	return min
 }
 
 // shardSuperframes is the fixed shard width of the parallel Monte-Carlo
@@ -208,13 +283,18 @@ const shardSuperframes = 8
 // Simulate runs the Monte-Carlo characterization. The run is sharded into
 // independent superframe blocks executed on Config.Workers goroutines;
 // results are bit-identical for every worker count (see Config.Workers).
+//
+// Shard state (event heap, transaction population, RNG) is pooled and
+// reused across calls, and the per-shard statistics are folded shard by
+// shard in index order — there is no merged transaction slice at all, so
+// steady-state Simulate calls allocate only the small shard-pointer table.
 func Simulate(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	if cfg.TargetLoad < 0 {
 		panic("contention: negative target load")
 	}
 	nShards := (cfg.Superframes + shardSuperframes - 1) / shardSuperframes
-	shards := make([][]*txn, nShards)
+	shards := make([]*shard, nShards)
 	// The shard closure cannot fail and the context is never canceled, so
 	// Map's error is structurally nil.
 	_ = engine.Map(context.Background(), cfg.Workers, nShards, func(i int) error {
@@ -222,46 +302,56 @@ func Simulate(cfg Config) Result {
 		if i == nShards-1 {
 			sf = cfg.Superframes - i*shardSuperframes
 		}
-		shards[i] = simulateShard(cfg, sf, engine.DeriveSeed(cfg.Seed, int64(i)))
+		st := shardPool.Get().(*shard)
+		simulateShard(cfg, sf, engine.DeriveSeed(cfg.Seed, int64(i)), st)
+		shards[i] = st
 		return nil
 	})
-	var all []*txn
-	for _, s := range shards {
-		all = append(all, s...)
+	r := aggregate(cfg, shards)
+	for _, st := range shards {
+		shardPool.Put(st)
 	}
-	return aggregate(cfg, all)
+	return r
 }
 
 // simulateShard runs the event loop over one independent block of
-// superframes with its own RNG; it is the unit of parallelism.
-func simulateShard(cfg Config, superframes int, seed int64) []*txn {
-	rng := rand.New(rand.NewSource(seed))
+// superframes with its own RNG; it is the unit of parallelism. The shard's
+// backing arrays are reused from call to call; the loop itself performs no
+// steady-state allocation (see TestSimulateShardAllocFree).
+func simulateShard(cfg Config, superframes int, seed int64, st *shard) {
+	st.reset(seed)
+	rng := &st.rng
 
 	sfSlots := int64(cfg.Superframe.BeaconInterval() / phy.UnitBackoffPeriod)
 	packetSlots := float64(cfg.PacketDuration()) / float64(phy.UnitBackoffPeriod)
 	beaconSlots := float64(phy.TxDuration(cfg.BeaconBytes)) / float64(phy.UnitBackoffPeriod)
 	perSF := cfg.PacketsPerSuperframe()
 
-	var events eventHeap
-	seq := 0
-	push := func(slot int64, kind int, t *txn) {
-		events = append(events, event{slot: slot, kind: kind, seq: seq, txn: t})
-		seq++
-		heap.Fix(&events, len(events)-1)
-	}
-	scheduleCCA := func(t *txn, at int64) { push(at, evCCA, t) }
+	// Integer slot bounds: for an integer slot s and a real bound x,
+	// s < x ⇔ s < ⌈x⌉, so every busy-window comparison below runs on
+	// precomputed integers while deciding exactly like the real-valued
+	// original.
+	packetCeil := int64(math.Ceil(packetSlots))
+	beaconCeil := int64(math.Ceil(beaconSlots))
 
-	var all []*txn
+	seq := int32(0)
+	push := func(slot int64, kind uint8, ti int32) {
+		st.push(event{slot: slot, seq: seq, kind: kind, txn: ti})
+		seq++
+	}
+
 	spawn := func(arrival int64) {
-		t := &txn{t: mac.NewTransaction(cfg.CSMA, rng), arrivalSlot: arrival}
-		all = append(all, t)
+		st.txns = append(st.txns, txn{arrivalSlot: arrival})
+		ti := int32(len(st.txns) - 1)
+		t := &st.txns[ti]
+		t.t.Init(cfg.CSMA, rng)
 		// The first CCA occurs after the initial random backoff.
 		first := arrival
 		for !t.t.CCADue() {
 			t.t.AdvanceSlot()
 			first++
 		}
-		scheduleCCA(t, first)
+		push(first, evCCA, ti)
 	}
 
 	// Generate arrivals for every superframe of the shard up front.
@@ -280,45 +370,42 @@ func simulateShard(cfg Config, superframes int, seed int64) []*txn {
 			}
 		}
 	}
-	heap.Init(&events)
 
 	// Channel occupancy: transmissions never overlap except when they
 	// start on the same boundary, so one (start, until) pair suffices.
 	busyStart := int64(-1)
-	busyUntil := float64(math.Inf(-1))
-	var startersThisSlot []*txn
+	busyUntil := int64(math.MinInt64)
 	lastStartSlot := int64(-1)
 
 	channelBusy := func(slot int64) bool {
-		if float64(slot) < busyUntil && slot >= busyStart {
+		if slot < busyUntil && slot >= busyStart {
 			return true
 		}
-		phase := slot % sfSlots
-		return float64(phase) < beaconSlots
+		return slot%sfSlots < beaconCeil
 	}
 	flushStarters := func() {
-		if len(startersThisSlot) > 1 {
-			for _, t := range startersThisSlot {
-				t.collided = true
+		if len(st.starters) > 1 {
+			for _, ti := range st.starters {
+				st.txns[ti].collided = true
 			}
 		}
-		startersThisSlot = startersThisSlot[:0]
+		st.starters = st.starters[:0]
 	}
 
-	for events.Len() > 0 {
-		ev := heap.Pop(&events).(event)
+	for len(st.events) > 0 {
+		ev := st.pop()
 		if ev.slot != lastStartSlot {
 			flushStarters()
 		}
 		switch ev.kind {
 		case evTxStart:
-			t := ev.txn
+			t := &st.txns[ev.txn]
 			// Defer if the packet cannot finish before the next beacon:
 			// resume with fresh CCAs right after that beacon.
 			phase := ev.slot % sfSlots
-			if float64(phase)+packetSlots > float64(sfSlots) {
-				resume := (ev.slot/sfSlots+1)*sfSlots + int64(math.Ceil(beaconSlots))
-				scheduleCCA(t, resume)
+			if phase+packetCeil > sfSlots {
+				resume := (ev.slot/sfSlots+1)*sfSlots + beaconCeil
+				push(resume, evCCA, ev.txn)
 				// Re-arm the contention window: the transaction object
 				// cannot be rewound, so count the grant only when the
 				// transmission really starts.
@@ -326,35 +413,35 @@ func simulateShard(cfg Config, superframes int, seed int64) []*txn {
 				continue
 			}
 			t.granted = true
-			t.endSlot = ev.slot + int64(math.Ceil(packetSlots))
+			t.endSlot = ev.slot + packetCeil
 			busyStart = ev.slot
-			if until := float64(ev.slot) + packetSlots; until > busyUntil {
+			if until := ev.slot + packetCeil; until > busyUntil {
 				busyUntil = until
 			}
 			lastStartSlot = ev.slot
-			startersThisSlot = append(startersThisSlot, t)
+			st.starters = append(st.starters, ev.txn)
 		case evCCA:
-			t := ev.txn
+			t := &st.txns[ev.txn]
 			if t.t.Done() {
 				// A deferred transaction resuming after a beacon: grant
 				// immediately at this boundary (its CCAs already
 				// succeeded); re-check fit via the evTxStart path.
-				push(ev.slot, evTxStart, t)
+				push(ev.slot, evTxStart, ev.txn)
 				continue
 			}
 			busy := channelBusy(ev.slot)
 			switch t.t.CCAResult(busy) {
 			case mac.OutcomeNextCCA:
-				scheduleCCA(t, ev.slot+1)
+				push(ev.slot+1, evCCA, ev.txn)
 			case mac.OutcomeTransmit:
-				push(ev.slot+1, evTxStart, t)
+				push(ev.slot+1, evTxStart, ev.txn)
 			case mac.OutcomeBackoff:
 				next := ev.slot + 1
 				for !t.t.CCADue() {
 					t.t.AdvanceSlot()
 					next++
 				}
-				scheduleCCA(t, next)
+				push(next, evCCA, ev.txn)
 			case mac.OutcomeFailure:
 				t.failed = true
 				t.endSlot = ev.slot
@@ -362,41 +449,47 @@ func simulateShard(cfg Config, superframes int, seed int64) []*txn {
 		}
 	}
 	flushStarters()
-	return all
 }
 
-// aggregate folds the merged per-shard transaction lists into a Result; the
-// serial in-order fold keeps floating-point sums worker-count independent.
-func aggregate(cfg Config, all []*txn) Result {
+// aggregate folds the per-shard transaction populations into a Result; the
+// serial in-order fold (shard order, then arrival order within each shard)
+// visits transactions exactly as the old merged slice did, keeping
+// floating-point sums worker-count independent.
+func aggregate(cfg Config, shards []*shard) Result {
 	sfSlots := int64(cfg.Superframe.BeaconInterval() / phy.UnitBackoffPeriod)
 	packetSlots := float64(cfg.PacketDuration()) / float64(phy.UnitBackoffPeriod)
+	packetCeil := math.Ceil(packetSlots)
 
 	var cont stats.Accumulator
 	var ccas stats.Accumulator
 	var cf, col stats.Proportion
-	granted, failed, collided := 0, 0, 0
-	for _, t := range all {
-		ccas.Add(float64(t.t.CCAs()))
-		cf.Observe(t.failed)
-		if t.failed {
-			failed++
-			cont.Add(float64(t.endSlot-t.arrivalSlot) * phy.UnitBackoffPeriod.Seconds())
-		}
-		if t.granted {
-			granted++
-			col.Observe(t.collided)
-			if t.collided {
-				collided++
+	total, granted, failed, collided := 0, 0, 0, 0
+	for _, st := range shards {
+		total += len(st.txns)
+		for i := range st.txns {
+			t := &st.txns[i]
+			ccas.Add(float64(t.t.CCAs()))
+			cf.Observe(t.failed)
+			if t.failed {
+				failed++
+				cont.Add(float64(t.endSlot-t.arrivalSlot) * phy.UnitBackoffPeriod.Seconds())
 			}
-			txStart := float64(t.endSlot) - math.Ceil(packetSlots)
-			cont.Add((txStart - float64(t.arrivalSlot)) * phy.UnitBackoffPeriod.Seconds())
+			if t.granted {
+				granted++
+				col.Observe(t.collided)
+				if t.collided {
+					collided++
+				}
+				txStart := float64(t.endSlot) - packetCeil
+				cont.Add((txStart - float64(t.arrivalSlot)) * phy.UnitBackoffPeriod.Seconds())
+			}
 		}
 	}
-	offered := float64(len(all)) * packetSlots / float64(int64(cfg.Superframes)*sfSlots)
+	offered := float64(total) * packetSlots / float64(int64(cfg.Superframes)*sfSlots)
 	return Result{
 		Config:         cfg,
 		OfferedLoad:    offered,
-		Transactions:   len(all),
+		Transactions:   total,
 		Granted:        granted,
 		Failed:         failed,
 		Collided:       collided,

@@ -10,98 +10,121 @@
 //     (FIFO), which makes runs reproducible for a fixed seed.
 //   - The kernel is single-goroutine by design: handlers run synchronously
 //     inside Step/Run and may schedule or cancel further events.
+//
+// # Zero-allocation event engine
+//
+// The event queue is a flat 4-ary min-heap of value-typed events — no
+// per-event heap nodes, no container/heap boxing through `any`, no pointer
+// chasing during sift. Steady-state scheduling therefore allocates nothing:
+// pushing reuses the slice capacity, and popped events are plain struct
+// copies.
+//
+// Handlers come in two flavours:
+//
+//   - Typed dispatch (the hot path): the model registers one Dispatcher
+//     function and schedules events as an (kind, actor, arg) triple via
+//     AtEvent/ScheduleEvent. No closure is allocated per event; the
+//     dispatcher demultiplexes on the small kind enum. This is how netsim
+//     drives its per-node state machines.
+//   - Closure handlers (the convenience path): At/Schedule accept a func().
+//     The event storage itself is still allocation-free; only the closure
+//     the caller constructs escapes.
+//
+// Cancellation works through EventID handles backed by a generation-checked
+// slot table with a free list: cancelled or fired slots are recycled for
+// later events, and a stale EventID (whose slot has been reused) is
+// harmlessly ignored. Cancelled events are removed lazily when they surface
+// at the heap root.
 package des
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
 	"time"
+
+	"dense802154/internal/engine"
 )
 
 // Handler is a callback invoked when an event fires.
 type Handler func()
 
-// Event is a scheduled callback. It is returned by Schedule/At and can be
-// cancelled. The zero value is not a valid event.
-type Event struct {
-	at      time.Duration
-	seq     uint64
-	index   int // heap index, -1 when not queued
-	fn      Handler
-	stopped bool
+// Dispatcher receives typed events scheduled with AtEvent/ScheduleEvent:
+// kind is the model's event enum, actor identifies the entity the event
+// concerns (a node index, say; -1 for global events) and arg carries the
+// event's time payload (which often differs from the firing instant — a
+// CCA event fires one turnaround early but targets a slot boundary).
+type Dispatcher func(kind, actor int32, arg time.Duration)
+
+// EventID is a cancellable handle to a scheduled event. The zero value is
+// not a valid handle and cancelling it is a no-op.
+type EventID struct {
+	slot int32
+	gen  uint32
 }
 
-// Time reports the instant the event is (or was) scheduled to fire.
-func (e *Event) Time() time.Duration { return e.at }
-
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e.stopped }
-
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// event is one value-typed entry of the flat event heap.
+type event struct {
+	at    time.Duration
+	seq   uint64
+	slot  int32 // index into Simulator.slots
+	kind  int32
+	actor int32
+	arg   time.Duration
+	fn    Handler // nil ⇒ typed dispatch
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
+// slot states.
+const (
+	slotPending uint8 = iota
+	slotCancelled
+)
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// slot tracks the lifecycle of one scheduled event for cancellation; slots
+// are recycled through a free list once their event fires or its
+// cancellation is collected.
+type slot struct {
+	gen   uint32
+	state uint8
 }
 
 // Simulator is a discrete-event simulator instance.
 type Simulator struct {
-	now   time.Duration
-	queue eventQueue
-	seq   uint64
-	rng   *rand.Rand
-	fired uint64
+	now      time.Duration
+	heap     []event
+	slots    []slot
+	free     []int32
+	live     int // scheduled and not cancelled
+	seq      uint64
+	rng      engine.RNG
+	fired    uint64
+	dispatch Dispatcher
 }
 
 // New returns a simulator whose random source is seeded with seed.
 // Identical seeds and identical scheduling sequences produce identical runs.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: engine.NewRNG(seed)}
 }
+
+// SetDispatcher registers the typed-event dispatcher. It must be set before
+// the first AtEvent/ScheduleEvent call.
+func (s *Simulator) SetDispatcher(d Dispatcher) { s.dispatch = d }
 
 // Now reports the current simulated time.
 func (s *Simulator) Now() time.Duration { return s.now }
 
 // Rand exposes the simulator's deterministic random source.
-func (s *Simulator) Rand() *rand.Rand { return s.rng }
+func (s *Simulator) Rand() *engine.RNG { return &s.rng }
 
 // Fired reports the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending reports the number of events currently queued.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending reports the number of events currently scheduled (cancelled
+// events are excluded even before their slots are collected).
+func (s *Simulator) Pending() int { return s.live }
 
 // Schedule queues fn to run after delay. It panics on negative delays:
 // scheduling into the past is always a bug in the calling model.
-func (s *Simulator) Schedule(delay time.Duration, fn Handler) *Event {
+func (s *Simulator) Schedule(delay time.Duration, fn Handler) EventID {
 	if delay < 0 {
 		panic(fmt.Sprintf("des: negative delay %v", delay))
 	}
@@ -109,43 +132,106 @@ func (s *Simulator) Schedule(delay time.Duration, fn Handler) *Event {
 }
 
 // At queues fn to run at absolute simulated time t (>= Now).
-func (s *Simulator) At(t time.Duration, fn Handler) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
-	}
+func (s *Simulator) At(t time.Duration, fn Handler) EventID {
 	if fn == nil {
 		panic("des: nil handler")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	return s.push(t, 0, 0, 0, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.stopped {
+// ScheduleEvent queues a typed event after delay (see Dispatcher).
+func (s *Simulator) ScheduleEvent(delay time.Duration, kind, actor int32, arg time.Duration) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.AtEvent(s.now+delay, kind, actor, arg)
+}
+
+// AtEvent queues a typed event at absolute simulated time t (>= Now). The
+// (kind, actor, arg) triple is delivered to the registered Dispatcher when
+// the event fires. Unlike closure scheduling, AtEvent allocates nothing in
+// steady state.
+func (s *Simulator) AtEvent(t time.Duration, kind, actor int32, arg time.Duration) EventID {
+	if s.dispatch == nil {
+		panic("des: AtEvent without a dispatcher (call SetDispatcher first)")
+	}
+	return s.push(t, kind, actor, arg, nil)
+}
+
+// push allocates a slot (reusing the free list) and sifts the event in.
+func (s *Simulator) push(t time.Duration, kind, actor int32, arg time.Duration, fn Handler) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	var id int32
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{gen: 1})
+		id = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[id]
+	sl.state = slotPending
+	ev := event{at: t, seq: s.seq, slot: id, kind: kind, actor: actor, arg: arg, fn: fn}
+	s.seq++
+	s.live++
+	s.heap = append(s.heap, ev)
+	s.siftUp(len(s.heap) - 1)
+	return EventID{slot: id, gen: sl.gen}
+}
+
+// Cancel removes a pending event. Cancelling an already-fired,
+// already-cancelled or zero-valued handle is a no-op.
+func (s *Simulator) Cancel(id EventID) {
+	if id.gen == 0 || int(id.slot) >= len(s.slots) {
 		return
 	}
-	e.stopped = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+	sl := &s.slots[id.slot]
+	if sl.gen != id.gen || sl.state != slotPending {
+		return
 	}
+	sl.state = slotCancelled
+	s.live--
+}
+
+// Cancelled reports whether the event was cancelled before firing. A handle
+// whose event has already fired reports false; the zero handle reports
+// false.
+func (s *Simulator) Cancelled(id EventID) bool {
+	if id.gen == 0 || int(id.slot) >= len(s.slots) {
+		return false
+	}
+	sl := &s.slots[id.slot]
+	return sl.gen == id.gen && sl.state == slotCancelled
+}
+
+// release recycles a slot for reuse; bumping the generation invalidates any
+// outstanding EventID.
+func (s *Simulator) release(id int32) {
+	s.slots[id].gen++
+	s.free = append(s.free, id)
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports whether an event was executed.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.stopped {
+	for len(s.heap) > 0 {
+		ev := s.heap[0]
+		s.popRoot()
+		if s.slots[ev.slot].state == slotCancelled {
+			s.release(ev.slot)
 			continue
 		}
-		s.now = e.at
-		e.stopped = true
+		s.release(ev.slot)
+		s.live--
+		s.now = ev.at
 		s.fired++
-		e.fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			s.dispatch(ev.kind, ev.actor, ev.arg)
+		}
 		return true
 	}
 	return false
@@ -161,8 +247,8 @@ func (s *Simulator) Run() {
 // clock to the deadline. Events scheduled after the deadline remain queued.
 func (s *Simulator) RunUntil(deadline time.Duration) {
 	for {
-		e := s.peek()
-		if e == nil || e.at > deadline {
+		at, ok := s.peek()
+		if !ok || at > deadline {
 			break
 		}
 		s.Step()
@@ -172,14 +258,87 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 	}
 }
 
-// peek returns the next non-cancelled event without firing it.
-func (s *Simulator) peek() *Event {
-	for len(s.queue) > 0 {
-		if s.queue[0].stopped {
-			heap.Pop(&s.queue)
+// peek reports the timestamp of the next non-cancelled event, collecting
+// cancelled heap entries along the way.
+func (s *Simulator) peek() (time.Duration, bool) {
+	for len(s.heap) > 0 {
+		ev := &s.heap[0]
+		if s.slots[ev.slot].state == slotCancelled {
+			s.release(ev.slot)
+			s.popRoot()
 			continue
 		}
-		return s.queue[0]
+		return ev.at, true
 	}
-	return nil
+	return 0, false
+}
+
+// ---- flat 4-ary min-heap, ordered by (at, seq) ----
+//
+// A 4-ary layout halves the tree depth of a binary heap; with value-typed
+// events the four-child comparison loop stays in one or two cache lines, so
+// pops touch fewer lines than a deeper binary sift would.
+
+// before reports heap ordering between two events.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !before(&ev, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+// popRoot removes the heap minimum.
+func (s *Simulator) popRoot() {
+	h := s.heap
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+	}
+	h[n] = event{} // clear the vacated tail (drops closure references)
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if before(&h[c], &h[best]) {
+				best = c
+			}
+		}
+		if !before(&h[best], &ev) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ev
 }

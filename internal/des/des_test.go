@@ -13,7 +13,6 @@ func TestEventsFireInTimeOrder(t *testing.T) {
 	var order []time.Duration
 	delays := []time.Duration{50, 10, 30, 20, 40}
 	for _, d := range delays {
-		d := d
 		s.Schedule(d*time.Microsecond, func() {
 			order = append(order, s.Now())
 		})
@@ -50,27 +49,51 @@ func TestCancel(t *testing.T) {
 	fired := false
 	e := s.Schedule(time.Millisecond, func() { fired = true })
 	s.Cancel(e)
+	if !s.Cancelled(e) {
+		t.Fatal("event not marked cancelled")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel, want 0", s.Pending())
+	}
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
-	}
-	// Double cancel and nil cancel are no-ops.
+	// Double cancel and zero-handle cancel are no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(EventID{})
+	if s.Cancelled(EventID{}) {
+		t.Fatal("zero handle reports cancelled")
+	}
 }
 
 func TestCancelFromHandler(t *testing.T) {
 	s := New(1)
 	fired := false
-	var victim *Event
+	var victim EventID
 	s.Schedule(time.Microsecond, func() { s.Cancel(victim) })
 	victim = s.Schedule(time.Millisecond, func() { fired = true })
 	s.Run()
 	if fired {
 		t.Fatal("event cancelled from a handler still fired")
+	}
+}
+
+func TestStaleHandleIsIgnored(t *testing.T) {
+	// After an event fires, its slot is recycled; a retained handle must
+	// not cancel the slot's next occupant.
+	s := New(1)
+	first := s.Schedule(time.Microsecond, func() {})
+	s.Run()
+	fired := false
+	s.Schedule(time.Microsecond, func() { fired = true })
+	s.Cancel(first) // stale: the slot now belongs to the second event
+	if s.Cancelled(first) {
+		t.Fatal("stale handle reports cancelled")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale cancel hit the recycled slot")
 	}
 }
 
@@ -88,6 +111,69 @@ func TestScheduleFromHandler(t *testing.T) {
 	if len(times) != 2 || times[0] != want[0] || times[1] != want[1] {
 		t.Fatalf("got %v, want %v", times, want)
 	}
+}
+
+func TestTypedDispatch(t *testing.T) {
+	s := New(1)
+	type rec struct {
+		kind, actor int32
+		arg, at     time.Duration
+	}
+	var got []rec
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) {
+		got = append(got, rec{kind, actor, arg, s.Now()})
+	})
+	s.AtEvent(2*time.Millisecond, 7, 42, 5*time.Millisecond)
+	s.ScheduleEvent(time.Millisecond, 3, -1, 0)
+	s.Run()
+	want := []rec{
+		{3, -1, 0, time.Millisecond},
+		{7, 42, 5 * time.Millisecond, 2 * time.Millisecond},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("typed dispatch got %v, want %v", got, want)
+	}
+}
+
+func TestTypedAndClosureInterleave(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) {
+		order = append(order, "typed")
+	})
+	s.Schedule(time.Millisecond, func() { order = append(order, "closure") })
+	s.ScheduleEvent(time.Millisecond, 0, 0, 0)
+	s.Schedule(2*time.Millisecond, func() { order = append(order, "closure") })
+	s.Run()
+	want := []string{"closure", "typed", "closure"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("interleave order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTypedCancel(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) { count++ })
+	keep := s.AtEvent(time.Millisecond, 0, 0, 0)
+	drop := s.AtEvent(2*time.Millisecond, 0, 1, 0)
+	s.Cancel(drop)
+	s.Run()
+	if count != 1 {
+		t.Fatalf("fired %d typed events, want 1", count)
+	}
+	_ = keep
+}
+
+func TestAtEventWithoutDispatcherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on AtEvent without dispatcher")
+		}
+	}()
+	New(1).AtEvent(time.Millisecond, 0, 0, 0)
 }
 
 func TestRunUntil(t *testing.T) {
@@ -218,7 +304,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		count := int(n%64) + 1
 		s := New(5)
 		firedCount := 0
-		events := make([]*Event, count)
+		events := make([]EventID, count)
 		for i := 0; i < count; i++ {
 			events[i] = s.Schedule(time.Duration(i)*time.Microsecond, func() { firedCount++ })
 		}
@@ -228,6 +314,9 @@ func TestPropertyCancelSubset(t *testing.T) {
 				s.Cancel(events[i])
 				cancelled++
 			}
+		}
+		if s.Pending() != count-cancelled {
+			return false
 		}
 		s.Run()
 		return firedCount == count-cancelled
@@ -255,4 +344,93 @@ func TestHeapStressRandomOrder(t *testing.T) {
 	if !ok {
 		t.Fatal("heap delivered events out of order under stress")
 	}
+}
+
+func TestHeapStressInterleavedCancel(t *testing.T) {
+	// Schedule, cancel a third, schedule more from handlers; order and
+	// counts must hold with slot recycling under churn.
+	s := New(11)
+	rng := rand.New(rand.NewSource(7))
+	fired, spawned := 0, 0
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) { fired++ })
+	var ids []EventID
+	for i := 0; i < 3000; i++ {
+		ids = append(ids, s.ScheduleEvent(time.Duration(rng.Intn(1_000_000)), 0, int32(i), 0))
+	}
+	cancelled := 0
+	for i := 0; i < len(ids); i += 3 {
+		s.Cancel(ids[i])
+		cancelled++
+	}
+	// Handlers that respawn: every 10th firing schedules a fresh event.
+	s.Schedule(0, func() {})
+	var respawn func()
+	respawn = func() {
+		spawned++
+		if spawned < 100 {
+			s.Schedule(time.Duration(rng.Intn(500_000)), respawn)
+		}
+	}
+	s.Schedule(0, respawn)
+	s.Run()
+	if fired != 3000-cancelled {
+		t.Fatalf("typed fired = %d, want %d", fired, 3000-cancelled)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", s.Pending())
+	}
+}
+
+// TestTypedEventLoopAllocFree is the allocation-regression guard for the
+// kernel: a steady-state schedule→fire cycle through the typed path must
+// not allocate once the heap and slot table have warmed up.
+func TestTypedEventLoopAllocFree(t *testing.T) {
+	s := New(1)
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) {
+		if kind < 8 {
+			s.ScheduleEvent(time.Duration(s.Rand().Intn(1000))*time.Microsecond, kind+1, actor, arg)
+		}
+	})
+	// Warm up the internal slices.
+	for i := 0; i < 64; i++ {
+		s.ScheduleEvent(time.Duration(i)*time.Microsecond, 0, int32(i), 0)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.ScheduleEvent(time.Duration(i)*time.Microsecond, 0, int32(i), 0)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("typed event loop allocated %v per cycle, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleEvent(time.Duration(i%64)*time.Microsecond, 0, 0, 0)
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkScheduleFireClosure(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%64)*time.Microsecond, fn)
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
 }

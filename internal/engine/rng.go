@@ -1,0 +1,82 @@
+package engine
+
+// RNG is the repository's deterministic pseudo-random number generator: a
+// splitmix64 counter sequence (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014) whose entire state is one
+// uint64. It exists so the hot simulation loops — the Monte-Carlo contention
+// shards, the discrete-event kernel and every netsim node — can embed their
+// random stream by value instead of chaining through a heap-allocated
+// *rand.Rand (whose lagged-Fibonacci source alone weighs ~5 KiB).
+//
+// Properties that matter here:
+//
+//   - Zero allocation: RNG is a plain struct; embed it, copy it, pool it.
+//   - Determinism: the stream is a pure function of the seed, so the
+//     engine-wide contract holds — seed a shard with DeriveSeed(root, i)
+//     and its stream depends only on (root, i), never on worker count.
+//   - Stream independence: the output is a bijective avalanche mix of a
+//     golden-gamma counter, so even adjacent seeds yield uncorrelated
+//     streams (DeriveSeed applies the same mix one level up).
+//
+// RNG implements math/rand.Source64, so rand.New(&r) upgrades it to the
+// full math/rand API for cold paths (e.g. deployment sampling at netsim
+// setup); the hot paths use the direct Float64/Intn/Int63n methods.
+//
+// The zero value is a valid generator seeded with 0. RNG is not safe for
+// concurrent use; give each goroutine its own (see DeriveSeed).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) RNG { return RNG{state: uint64(seed)} }
+
+// Seed resets the generator to the given seed (math/rand.Source).
+func (r *RNG) Seed(seed int64) { r.state = uint64(seed) }
+
+// Uint64 advances the counter by the golden-ratio gamma and returns the
+// avalanche mix of the new state (math/rand.Source64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Int63 returns a uniform value in [0, 1<<63) (math/rand.Source).
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0. Like
+// math/rand, it rejects the biased tail so every value is exactly equally
+// likely.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("engine: Int63n with n <= 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("engine: Intn with n <= 0")
+	}
+	return int(r.Int63n(int64(n)))
+}

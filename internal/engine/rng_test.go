@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	a = NewRNG(42)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("adjacent seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRNGSeedResets(t *testing.T) {
+	r := NewRNG(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if got := r.Uint64(); got != first {
+		t.Fatalf("Seed did not reset the stream: %d vs %d", got, first)
+	}
+}
+
+func TestRNGZeroValueUsable(t *testing.T) {
+	var r RNG
+	if r.Uint64() == r.Uint64() {
+		t.Fatal("zero-value RNG stuck")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	var min, max float64 = 1, 0
+	for i := 0; i < 100_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if min > 0.01 || max < 0.99 {
+		t.Fatalf("Float64 poorly spread: min=%v max=%v", min, max)
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(2)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{1, 2, 3, 7, 8, 1000} {
+		seen := make([]bool, n)
+		for i := 0; i < 50*n; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("Intn(%d) never produced %d", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	// Chi-square smoke test over 10 buckets (non-power-of-two path).
+	r := NewRNG(4)
+	const n, buckets = 100_000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expect := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expect
+		chi2 += d * d / expect
+	}
+	// 9 degrees of freedom: p=0.001 critical value ≈ 27.9.
+	if chi2 > 27.9 {
+		t.Fatalf("Intn chi-square = %v over %v counts", chi2, counts)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	r := NewRNG(1)
+	r.Intn(0)
+}
+
+func TestRNGInt63nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(-1) must panic")
+		}
+	}()
+	r := NewRNG(1)
+	r.Int63n(-1)
+}
+
+// TestRNGIsSource64 proves RNG plugs into math/rand for cold paths.
+func TestRNGIsSource64(t *testing.T) {
+	r := NewRNG(99)
+	var src rand.Source64 = &r
+	wrapped := rand.New(src)
+	for i := 0; i < 1000; i++ {
+		if f := wrapped.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("wrapped Float64 out of range: %v", f)
+		}
+		if v := wrapped.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("wrapped Intn out of range: %d", v)
+		}
+	}
+}
+
+// TestRNGAllocFree proves the generator itself never allocates.
+func TestRNGAllocFree(t *testing.T) {
+	r := NewRNG(5)
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = r.Uint64()
+		_ = r.Float64()
+		_ = r.Intn(17)
+		_ = r.Int63n(1 << 20)
+	})
+	if allocs != 0 {
+		t.Fatalf("RNG allocated %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkMathRandUint64(b *testing.B) {
+	b.ReportAllocs()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

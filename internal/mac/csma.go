@@ -2,8 +2,15 @@ package mac
 
 import (
 	"fmt"
-	"math/rand"
 )
+
+// Rand is the minimal random source a Transaction draws its backoff delays
+// from. Both *math/rand.Rand and *engine.RNG satisfy it; the interface keeps
+// this package free of a concrete PRNG so callers can thread a value-typed
+// generator through without allocation.
+type Rand interface {
+	Intn(n int) int
+}
 
 // Outcome is the transaction's reaction to a CCA result.
 type Outcome int
@@ -54,7 +61,7 @@ func (o Outcome) String() string {
 // The zero value is not usable; create transactions with NewTransaction.
 type Transaction struct {
 	params CSMAParams
-	rng    *rand.Rand
+	rng    Rand
 
 	nb      int // backoff (busy) counter
 	cw      int // remaining clear CCAs needed
@@ -72,15 +79,24 @@ type Transaction struct {
 
 // NewTransaction starts a channel-access attempt: it draws the initial
 // random delay uniformly from [0, 2^BE-1] backoff slots.
-func NewTransaction(p CSMAParams, rng *rand.Rand) *Transaction {
+func NewTransaction(p CSMAParams, rng Rand) *Transaction {
+	t := new(Transaction)
+	t.Init(p, rng)
+	return t
+}
+
+// Init (re)starts the transaction in place — the zero-allocation path for
+// callers that embed Transaction by value (the Monte-Carlo contention shards
+// and the netsim nodes). It resets every field, so a finished transaction's
+// storage can be reused for a fresh attempt.
+func (t *Transaction) Init(p CSMAParams, rng Rand) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	t := &Transaction{params: p, rng: rng}
+	*t = Transaction{params: p, rng: rng}
 	t.be = p.effectiveBE(p.MinBE)
 	t.cw = p.CW
 	t.pending = rng.Intn(1 << uint(t.be))
-	return t
 }
 
 // CCADue reports whether the transaction wants a clear channel assessment

@@ -22,12 +22,12 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"dense802154/internal/channel"
 	"dense802154/internal/contention"
 	"dense802154/internal/des"
+	"dense802154/internal/engine"
 	"dense802154/internal/mac"
 	"dense802154/internal/phy"
 	"dense802154/internal/radio"
@@ -194,19 +194,20 @@ func (r Result) String() string {
 		r.PacketsDelivered, r.PacketsOffered, 100*r.DeliveryRatio, r.MeanDelay.Round(time.Millisecond))
 }
 
-// transmission is an interval of medium occupancy.
+// transmission is an interval of medium occupancy, stored by value in the
+// medium's active list. Collisions are recorded on the owning node's
+// txCollided flag (nil node: beacon or acknowledgment frames, which occupy
+// the medium but track no collision state of their own).
 type transmission struct {
-	owner    int // node id; -1 beacon, -2 ack
-	start    time.Duration
-	end      time.Duration
-	collided bool
-	node     *node // nil for beacon/ack
+	start time.Duration
+	end   time.Duration
+	node  *node // nil for beacon/ack
 }
 
 // medium is the single shared broadcast domain (every node hears every
 // other: the star topology of Fig. 1a with no hidden terminals).
 type medium struct {
-	active []*transmission
+	active []transmission
 }
 
 // prune drops transmissions that ended before t.
@@ -230,14 +231,16 @@ func (m *medium) busyWindow(a, b time.Duration) bool {
 	return false
 }
 
-// add inserts a transmission, marking collisions among overlaps.
-func (m *medium) add(tx *transmission) {
+// add inserts a transmission, marking collisions among overlaps on the
+// participating nodes.
+func (m *medium) add(tx transmission) {
 	for _, other := range m.active {
 		if other.start < tx.end && other.end > tx.start {
-			tx.collided = true
-			other.collided = true
+			if tx.node != nil {
+				tx.node.txCollided = true
+			}
 			if other.node != nil {
-				other.node.curTx.collided = true
+				other.node.txCollided = true
 			}
 		}
 	}
@@ -251,23 +254,27 @@ type packet struct {
 	delivered   bool
 }
 
-// node is one sensor node.
+// node is one sensor node. Nodes live by value in env.nodes (stable
+// addresses: the slice is sized once), with their CSMA transaction, packet
+// and random stream embedded — a superframe's worth of MAC activity
+// allocates nothing per node.
 type node struct {
 	id    int
 	env   *env
 	dev   *radio.Device
-	rng   *rand.Rand
+	rng   engine.RNG
 	loss  float64
 	level int
 	per   float64 // packet corruption probability at the chosen level
 
-	last     time.Duration // accounting watermark
-	txn      *mac.Transaction
-	attempts int
-	pkt      *packet
-	curTx    *transmission
-	busy     bool // a MAC exchange (contention/TX/ACK) is in flight
-	traced   bool
+	last       time.Duration   // accounting watermark
+	txn        mac.Transaction // in-place re-initialized per attempt
+	attempts   int
+	pkt        packet
+	hasPkt     bool
+	txCollided bool // current transmission overlapped another
+	busy       bool // a MAC exchange (contention/TX/ACK) is in flight
+	traced     bool
 
 	// in-situ contention statistics
 	contStart time.Duration
@@ -277,10 +284,10 @@ type node struct {
 type env struct {
 	cfg     Config
 	sim     *des.Simulator
-	rng     *rand.Rand
-	med     *medium
-	nodes   []*node
+	med     medium
+	nodes   []node
 	tia     time.Duration // idle->RX transition
+	tiaTx   time.Duration // idle->TX transition
 	tsi     time.Duration // shutdown->idle transition
 	tpacket time.Duration
 	tbeacon time.Duration

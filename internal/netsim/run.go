@@ -3,11 +3,13 @@ package netsim
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"dense802154/internal/channel"
 	"dense802154/internal/contention"
 	"dense802154/internal/des"
+	"dense802154/internal/engine"
 	"dense802154/internal/frame"
 	"dense802154/internal/mac"
 	"dense802154/internal/phy"
@@ -15,58 +17,105 @@ import (
 	"dense802154/internal/units"
 )
 
+// Event kinds of the typed dispatch scheme: every scheduled event is a
+// (kind, node, instant) triple, so the des kernel never stores a per-event
+// closure. The instant payload is the event's protocol time (a slot
+// boundary, a transmission end), which often differs from the firing time —
+// CCA events, for instance, fire one idle→RX turnaround before the boundary
+// they assess.
+const (
+	evBeacon int32 = iota // actor -1, arg = beacon instant
+	evBeginContention
+	evDoCCA
+	evTransmit
+	evFinishTx
+	evAckReceived
+	evAckTimeout
+)
+
+// dispatch routes typed events to the model handlers (des.Dispatcher).
+func (e *env) dispatch(kind, actor int32, arg time.Duration) {
+	if kind == evBeacon {
+		e.beacon(arg)
+		return
+	}
+	n := &e.nodes[actor]
+	switch kind {
+	case evBeginContention:
+		n.beginContention(arg)
+	case evDoCCA:
+		n.doCCA(arg)
+	case evTransmit:
+		n.transmit(arg)
+	case evFinishTx:
+		n.finishTransmit(arg)
+	case evAckReceived:
+		n.ackReceived(arg)
+	case evAckTimeout:
+		n.ackTimeout(arg)
+	}
+}
+
 // Run executes the simulation and aggregates the results.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	e := &env{
 		cfg:          cfg,
 		sim:          des.New(cfg.Seed),
-		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
-		med:          &medium{},
 		attemptsHist: make([]int, cfg.NMax),
 	}
+	e.sim.SetDispatcher(e.dispatch)
 	tr, _ := cfg.Radio.Transition(radio.Idle, radio.RX)
 	e.tia = tr.Duration
+	tr, _ = cfg.Radio.Transition(radio.Idle, radio.TX)
+	e.tiaTx = tr.Duration
 	tr, _ = cfg.Radio.Transition(radio.Shutdown, radio.Idle)
 	e.tsi = tr.Duration
 	e.tpacket = frame.PaperPacketDuration(cfg.PayloadBytes)
 	e.tbeacon = phy.TxDuration(cfg.BeaconBytes)
 	e.tack = frame.AckDuration
 
-	// Build the population.
-	for i := 0; i < cfg.Nodes; i++ {
-		loss := cfg.Deployment.Sample(e.rng)
+	// Build the population. Deployment sampling is the one cold path that
+	// needs the full math/rand API, so the run seed's stream is upgraded
+	// through a rand.Rand wrapper here; the per-node hot-path streams are
+	// value-embedded engine.RNGs. Node streams derive from a
+	// domain-separated root (DeriveSeed(seed, -1)) rather than cfg.Seed
+	// directly, so they can never collide with the contention package's
+	// shard streams DeriveSeed(seed, shard) when both models run a
+	// cross-validation study off one seed.
+	setupRNG := rand.New(rand.NewSource(cfg.Seed + 1))
+	nodeRoot := engine.DeriveSeed(cfg.Seed, -1)
+	e.nodes = make([]node, cfg.Nodes)
+	for i := range e.nodes {
+		loss := cfg.Deployment.Sample(setupRNG)
 		level, _ := cfg.Radio.LevelIndexFor(cfg.TargetPRxDBm + loss)
 		prx := channel.ReceivedPowerDBm(cfg.Radio.TXLevels[level].DBm, loss)
 		per := phy.PacketErrorRateBytes(cfg.BER.BitErrorRate(prx), frame.ErrorProneBytes(cfg.PayloadBytes))
-		n := &node{
-			id:    i,
-			env:   e,
-			dev:   radio.NewDevice(cfg.Radio, radio.Shutdown),
-			rng:   rand.New(rand.NewSource(cfg.Seed + 100 + int64(i))),
-			loss:  loss,
-			level: level,
-			per:   per,
-		}
+		n := &e.nodes[i]
+		n.id = i
+		n.env = e
+		n.dev = radio.NewDevice(cfg.Radio, radio.Shutdown)
+		n.rng = engine.NewRNG(engine.DeriveSeed(nodeRoot, int64(i)))
+		n.loss = loss
+		n.level = level
+		n.per = per
 		n.dev.SetTXLevelIndex(level)
 		n.dev.SetPhase(radio.PhaseSleep)
 		n.traced = cfg.TraceNode == i+1
-		e.nodes = append(e.nodes, n)
 	}
 
 	// Schedule the superframes.
 	tib := cfg.Superframe.BeaconInterval()
 	for k := 0; k < cfg.Superframes; k++ {
-		k := k
 		beaconAt := time.Duration(k) * tib
-		e.sim.At(beaconAt, func() { e.beacon(beaconAt) })
+		e.sim.AtEvent(beaconAt, evBeacon, -1, beaconAt)
 	}
 	horizon := time.Duration(cfg.Superframes) * tib
 	e.sim.RunUntil(horizon)
 
 	// Close the books: every node sleeps out the horizon.
-	for _, n := range e.nodes {
-		n.advance(horizon)
+	for i := range e.nodes {
+		e.nodes[i].advance(horizon)
 	}
 	return e.collect(horizon)
 }
@@ -75,9 +124,9 @@ func Run(cfg Config) Result {
 // triggers every node's per-superframe procedure.
 func (e *env) beacon(at time.Duration) {
 	e.med.prune(at)
-	e.med.add(&transmission{owner: -1, start: at, end: at + e.tbeacon})
-	for _, n := range e.nodes {
-		n.startSuperframe(at)
+	e.med.add(transmission{start: at, end: at + e.tbeacon})
+	for i := range e.nodes {
+		e.nodes[i].startSuperframe(at)
 	}
 }
 
@@ -88,28 +137,29 @@ func (n *node) startSuperframe(tb time.Duration) {
 	if n.busy {
 		// A MAC exchange is straddling the beacon (a retry chain ran past
 		// the superframe edge); let it finish and skip this beacon.
-		if n.pkt != nil && !n.pkt.delivered {
+		if n.hasPkt && !n.pkt.delivered {
 			n.pkt.superframes++
 		}
 		return
 	}
 	// Refresh the application packet.
-	if n.pkt != nil && !n.pkt.delivered {
+	if n.hasPkt && !n.pkt.delivered {
 		n.pkt.superframes++
 		if n.pkt.superframes > e.cfg.MaxPacketSuperframes {
 			e.dropped++
-			n.pkt = nil
+			n.hasPkt = false
 		}
 	}
-	if n.pkt == nil || n.pkt.delivered {
+	if !n.hasPkt || n.pkt.delivered {
 		if n.rng.Float64() < e.cfg.TransmitProb {
-			n.pkt = &packet{readyAt: tb, superframes: 1}
+			n.pkt = packet{readyAt: tb, superframes: 1}
+			n.hasPkt = true
 			e.offered++
 		} else {
-			n.pkt = nil
+			n.hasPkt = false
 		}
 	}
-	if n.pkt == nil {
+	if !n.hasPkt {
 		return
 	}
 
@@ -141,7 +191,7 @@ func (n *node) startSuperframe(tb time.Duration) {
 		latest = earliest + phy.UnitBackoffPeriod
 	}
 	arrival := earliest + time.Duration(n.rng.Int63n(int64(latest-earliest)))
-	e.sim.At(arrival-e.tsi, func() { n.beginContention(arrival) })
+	e.sim.AtEvent(arrival-e.tsi, evBeginContention, int32(n.id), arrival)
 }
 
 // beginContention wakes the node and starts the CSMA/CA transaction.
@@ -151,7 +201,7 @@ func (n *node) beginContention(arrival time.Duration) {
 	n.advance(e.sim.Now())
 	n.dev.SetPhase(radio.PhaseContention)
 	n.transition(radio.Idle)
-	n.txn = mac.NewTransaction(e.cfg.CSMA, n.rng)
+	n.txn.Init(e.cfg.CSMA, &n.rng)
 	n.attempts = 0
 	n.contStart = arrival
 	// The first assessable boundary must leave room for the idle→RX
@@ -161,7 +211,7 @@ func (n *node) beginContention(arrival time.Duration) {
 		n.txn.AdvanceSlot()
 		first += phy.UnitBackoffPeriod
 	}
-	e.sim.At(first-e.tia, func() { n.doCCA(first) })
+	e.sim.AtEvent(first-e.tia, evDoCCA, int32(n.id), first)
 }
 
 // doCCA performs one clear channel assessment at slot boundary b.
@@ -182,31 +232,25 @@ func (n *node) doCCA(b time.Duration) {
 	switch n.txn.CCAResult(busy) {
 	case mac.OutcomeNextCCA:
 		next := b + phy.UnitBackoffPeriod
-		e.sim.At(next-e.tia, func() { n.doCCA(next) })
+		e.sim.AtEvent(next-e.tia, evDoCCA, int32(n.id), next)
 	case mac.OutcomeTransmit:
 		start := b + phy.UnitBackoffPeriod
-		e.sim.At(start-e.tiaTx(), func() { n.transmit(start) })
+		e.sim.AtEvent(start-e.tiaTx, evTransmit, int32(n.id), start)
 	case mac.OutcomeBackoff:
 		next := b + phy.UnitBackoffPeriod
 		for !n.txn.CCADue() {
 			n.txn.AdvanceSlot()
 			next += phy.UnitBackoffPeriod
 		}
-		e.sim.At(next-e.tia, func() { n.doCCA(next) })
+		e.sim.AtEvent(next-e.tia, evDoCCA, int32(n.id), next)
 	case mac.OutcomeFailure:
 		// Channel access failure: report to the application, sleep.
 		e.accessFailures++
 		e.txnFailures++
 		e.txnTotal++
-		e.recordContention(n, b, false, false)
+		e.recordContention(n, b, false)
 		n.sleep()
 	}
-}
-
-// tiaTx is the idle→TX transition time.
-func (e *env) tiaTx() time.Duration {
-	tr, _ := e.cfg.Radio.Transition(radio.Idle, radio.TX)
-	return tr.Duration
 }
 
 // transmit sends the packet at the slot boundary.
@@ -216,21 +260,20 @@ func (n *node) transmit(start time.Duration) {
 	n.dev.SetPhase(radio.PhaseTransmit)
 	n.transition(radio.TX)
 	end := start + e.tpacket
-	tx := &transmission{owner: n.id, start: start, end: end, node: n}
-	n.curTx = tx
+	n.txCollided = false
 	e.med.prune(start)
-	e.med.add(tx)
+	e.med.add(transmission{start: start, end: end, node: n})
 	e.transmissions++
 	n.attempts++
-	e.recordContention(n, start, true, false)
-	e.sim.At(end, func() { n.finishTransmit(end) })
+	e.recordContention(n, start, true)
+	e.sim.AtEvent(end, evFinishTx, int32(n.id), end)
 }
 
 // finishTransmit evaluates reception and handles the acknowledgment.
 func (n *node) finishTransmit(end time.Duration) {
 	e := n.env
 	n.advance(end)
-	collided := n.curTx.collided
+	collided := n.txCollided
 	corrupted := n.rng.Float64() < n.per
 	ok := !collided && !corrupted
 	if collided {
@@ -253,11 +296,11 @@ func (n *node) finishTransmit(end time.Duration) {
 	ackStart := end + mac.AckWaitMin
 	if ok {
 		ackEnd := ackStart + e.tack
-		e.med.add(&transmission{owner: -2, start: ackStart, end: ackEnd})
-		e.sim.At(ackEnd, func() { n.ackReceived(ackEnd) })
+		e.med.add(transmission{start: ackStart, end: ackEnd})
+		e.sim.AtEvent(ackEnd, evAckReceived, int32(n.id), ackEnd)
 	} else {
 		deadline := end + mac.AckWaitMax
-		e.sim.At(deadline, func() { n.ackTimeout(deadline) })
+		e.sim.AtEvent(deadline, evAckTimeout, int32(n.id), deadline)
 	}
 }
 
@@ -296,14 +339,14 @@ func (n *node) ackTimeout(at time.Duration) {
 	}
 	// Immediate retransmission attempt: new contention procedure.
 	n.dev.SetPhase(radio.PhaseContention)
-	n.txn = mac.NewTransaction(e.cfg.CSMA, n.rng)
+	n.txn.Init(e.cfg.CSMA, &n.rng)
 	n.contStart = at
 	first := e.slotAfter(at + e.tia)
 	for !n.txn.CCADue() {
 		n.txn.AdvanceSlot()
 		first += phy.UnitBackoffPeriod
 	}
-	e.sim.At(first-e.tia, func() { n.doCCA(first) })
+	e.sim.AtEvent(first-e.tia, evDoCCA, int32(n.id), first)
 }
 
 // sleep returns the node to shutdown and closes the MAC exchange.
@@ -318,7 +361,7 @@ func (n *node) sleep() {
 }
 
 // recordContention logs one contention procedure's statistics.
-func (e *env) recordContention(n *node, endedAt time.Duration, granted, _ bool) {
+func (e *env) recordContention(n *node, endedAt time.Duration, granted bool) {
 	e.contDur.Add((endedAt - n.contStart).Seconds())
 	e.contCCA.Add(float64(n.txn.CCAs()))
 	e.contCF.Observe(!granted)
@@ -327,8 +370,8 @@ func (e *env) recordContention(n *node, endedAt time.Duration, granted, _ bool) 
 // collect aggregates the run into a Result.
 func (e *env) collect(horizon time.Duration) Result {
 	var ledger radio.Ledger
-	for _, n := range e.nodes {
-		ledger.Merge(n.dev.Ledger())
+	for i := range e.nodes {
+		ledger.Merge(e.nodes[i].dev.Ledger())
 	}
 	r := Result{
 		Config:           e.cfg,
@@ -370,13 +413,12 @@ func (e *env) collect(horizon time.Duration) Result {
 	return r
 }
 
+// percentile computes the q-quantile of xs by linear interpolation on a
+// sorted copy (sort.Float64s: O(n log n), where delay lists at paper scale
+// reach thousands of deliveries per replica).
 func percentile(xs []float64, q float64) float64 {
 	sorted := append([]float64(nil), xs...)
-	for i := 1; i < len(sorted); i++ { // insertion sort: n is small
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
+	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	if lo >= len(sorted)-1 {

@@ -139,6 +139,7 @@ func TestAWGNAndBenchAgreeOnOrdering(t *testing.T) {
 }
 
 func BenchmarkDespreadSymbol(b *testing.B) {
+	b.ReportAllocs()
 	chips := ChipSequence(11) ^ 0x00010010
 	for i := 0; i < b.N; i++ {
 		DespreadSymbol(chips)
@@ -146,6 +147,7 @@ func BenchmarkDespreadSymbol(b *testing.B) {
 }
 
 func BenchmarkMeasureBERPoint(b *testing.B) {
+	b.ReportAllocs()
 	bench := NewBench(10)
 	for i := 0; i < b.N; i++ {
 		bench.MeasureBER(-92, 50, 100_000)

@@ -129,6 +129,7 @@ func TestWaveformAgreesWithBSCBench(t *testing.T) {
 }
 
 func BenchmarkWaveformSymbol(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(8))
 	sigma := math.Sqrt(chipEnergy() / 2)
 	for i := 0; i < b.N; i++ {
