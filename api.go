@@ -11,6 +11,7 @@ import (
 	"dense802154/internal/netsim"
 	"dense802154/internal/phy"
 	"dense802154/internal/radio"
+	"dense802154/internal/scenario"
 	"dense802154/internal/service"
 	"dense802154/internal/stats"
 	"dense802154/internal/units"
@@ -193,6 +194,40 @@ func Simulate(cfg SimConfig) SimResult { return netsim.Run(cfg) }
 func SimulateReplicas(ctx context.Context, cfg SimConfig, n, workers int) (SimReplicaSet, error) {
 	return netsim.RunReplicas(ctx, cfg, n, workers)
 }
+
+// Re-exported scenario-catalog types. A Scenario is a declarative
+// operating point of the model/simulator space; ScenarioResult is the
+// cross-model outcome the committed golden files pin byte for byte.
+type (
+	Scenario          = scenario.Scenario
+	ScenarioResult    = scenario.Result
+	ScenarioTolerance = scenario.Tolerance
+	ScenarioDiff      = scenario.DiffReport
+)
+
+// Scenarios returns the committed cross-model scenario catalog: named
+// operating points spanning sparse→dense networks, light→saturated traffic
+// and short→long beacon intervals, each with declared analytic-vs-simulated
+// agreement tolerances and a committed golden file.
+func Scenarios() []Scenario { return scenario.Catalog() }
+
+// ScenarioByName finds a catalog scenario.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }
+
+// RunScenario pushes one scenario through both the analytical model and
+// the discrete-event simulator and scores their agreement. Results are
+// bit-identical at any worker count (0 ⇒ NumCPU).
+func RunScenario(ctx context.Context, sc Scenario, workers int) (*ScenarioResult, error) {
+	return scenario.Run(ctx, sc, workers)
+}
+
+// ScenarioGolden returns the committed golden-file bytes for a scenario.
+func ScenarioGolden(name string) ([]byte, bool) { return scenario.Golden(name) }
+
+// DiffScenario compares a fresh scenario result against its committed
+// golden: byte-identical passes outright, otherwise per-metric drift is
+// scored under the scenario's tolerances.
+func DiffScenario(fresh *ScenarioResult) (ScenarioDiff, error) { return scenario.Diff(fresh) }
 
 // Experiments lists the registered paper-artifact drivers.
 func Experiments() []Experiment { return experiments.All() }

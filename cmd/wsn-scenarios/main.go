@@ -1,0 +1,226 @@
+// Command wsn-scenarios drives the committed cross-model scenario catalog:
+// every named scenario runs through both the analytical model and the
+// discrete-event simulator, and the committed golden files pin the outcome
+// byte for byte.
+//
+//	wsn-scenarios list                 # the catalog, one line per scenario
+//	wsn-scenarios run  [name ...]      # run scenarios, report agreement
+//	wsn-scenarios diff [name ...]      # run and compare against the goldens
+//
+// Flags: -workers bounds parallelism (results are identical at any count),
+// -json switches every subcommand to machine-readable output. diff exits
+// non-zero when a scenario drifts beyond its declared tolerances — the CI
+// regression gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"dense802154/internal/scenario"
+)
+
+func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines (results are identical at any count)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: wsn-scenarios [flags] <list|run|diff> [scenario ...]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	// Accept flags on either side of the subcommand (flag.Parse stops at
+	// the first non-flag argument, so "run -json foo" needs a second pass).
+	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch cmd {
+	case "list":
+		err = list(*jsonOut)
+	case "run":
+		err = run(ctx, flag.Args(), *workers, *jsonOut)
+	case "diff":
+		err = diff(ctx, flag.Args(), *workers, *jsonOut)
+	default:
+		fmt.Fprintf(os.Stderr, "wsn-scenarios: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsn-scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+// select resolves the requested scenario names (all when empty).
+func selectScenarios(names []string) ([]scenario.Scenario, error) {
+	if len(names) == 0 {
+		return scenario.Catalog(), nil
+	}
+	out := make([]scenario.Scenario, 0, len(names))
+	for _, name := range names {
+		sc, ok := scenario.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (wsn-scenarios list shows the catalog)", name)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func list(jsonOut bool) error {
+	cat := scenario.Catalog()
+	if jsonOut {
+		return emitJSON(cat)
+	}
+	fmt.Printf("%-24s %5s %7s %5s %5s %6s %8s  %s\n",
+		"NAME", "NODES", "PAYLOAD", "BO/SO", "P(TX)", "LOAD", "REPLICAS", "LOSS [dB]")
+	for _, sc := range cat {
+		load, _ := sc.Load()
+		fmt.Printf("%-24s %5d %6dB %2d/%-2d %5.2f %6.3f %8d  %g-%g\n",
+			sc.Name, sc.Nodes, sc.PayloadBytes, sc.BO, sc.SO, sc.TransmitProb,
+			load, sc.Replicas, sc.MinLossDB, sc.MaxLossDB)
+	}
+	return nil
+}
+
+func run(ctx context.Context, names []string, workers int, jsonOut bool) error {
+	scs, err := selectScenarios(names)
+	if err != nil {
+		return err
+	}
+	var results []*scenario.Result
+	failed := 0
+	for _, sc := range scs {
+		res, err := scenario.Run(ctx, sc, workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		results = append(results, res)
+		if !jsonOut {
+			printRun(res)
+		}
+		if !res.Pass {
+			failed++
+		}
+	}
+	if jsonOut {
+		if err := emitJSON(results); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed analytic-vs-sim agreement", failed, len(results))
+	}
+	if !jsonOut {
+		fmt.Printf("\nall %d scenarios agree analytic-vs-sim within tolerance\n", len(results))
+	}
+	return nil
+}
+
+func printRun(res *scenario.Result) {
+	verdict := "PASS"
+	if !res.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("%-24s %s  (λ=%.3f, power %0.1f µW model vs %0.1f±%0.1f µW sim)\n",
+		res.Scenario.Name, verdict, float64(res.Analytic.Load),
+		float64(res.Analytic.MeanPowerUW),
+		float64(res.Sim.PowerUW.Mean), float64(res.Sim.PowerUW.CI95))
+	for _, c := range res.Comparisons {
+		if !c.Pass {
+			fmt.Printf("  ✗ %-10s analytic %.4g vs sim %.4g (±%.2g): |Δ| %.4g > allowed %.4g\n",
+				c.Metric, float64(c.Analytic), float64(c.Sim), float64(c.SimCI95),
+				float64(c.AbsDiff), float64(c.Allowed))
+		}
+	}
+}
+
+func diff(ctx context.Context, names []string, workers int, jsonOut bool) error {
+	scs, err := selectScenarios(names)
+	if err != nil {
+		return err
+	}
+	var reports []scenario.DiffReport
+	failed := 0
+	for _, sc := range scs {
+		fresh, err := scenario.Run(ctx, sc, workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rep, err := scenario.Diff(fresh)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		if !rep.Pass {
+			failed++
+		}
+		if jsonOut {
+			continue
+		}
+		switch {
+		case rep.ByteIdentical:
+			fmt.Printf("%-24s OK (byte-identical to golden)\n", rep.Scenario)
+		case rep.Pass:
+			fmt.Printf("%-24s DRIFT within tolerance (golden bytes differ — regenerate with -update if intended)\n", rep.Scenario)
+			printDriftEntries(rep, true)
+		default:
+			fmt.Printf("%-24s REGRESSION beyond tolerance\n", rep.Scenario)
+			printDriftEntries(rep, false)
+		}
+	}
+	if jsonOut {
+		if err := emitJSON(reports); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios regressed against their goldens", failed, len(reports))
+	}
+	if !jsonOut {
+		fmt.Printf("\nall %d scenarios match their committed goldens\n", len(reports))
+	}
+	return nil
+}
+
+func printDriftEntries(rep scenario.DiffReport, onlyFailing bool) {
+	for _, e := range rep.Entries {
+		if onlyFailing && e.Pass {
+			continue
+		}
+		mark := "✓"
+		if !e.Pass {
+			mark = "✗"
+		}
+		fmt.Printf("  %s %-18s golden %.6g → fresh %.6g (|Δ| %.3g, allowed %.3g)\n",
+			mark, e.Metric, float64(e.Golden), float64(e.Fresh),
+			float64(e.AbsDiff), float64(e.Allowed))
+	}
+	if !rep.FreshAgrees {
+		fmt.Println("  ✗ fresh run fails its own analytic-vs-sim agreement")
+	}
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -22,7 +22,10 @@
 //     on a worker pool;
 //   - an HTTP JSON service exposing all of the above to remote clients
 //     (NewHTTPHandler, cmd/wsn-serve) with a server-wide worker pool and a
-//     bounded contention cache.
+//     bounded contention cache;
+//   - a cross-model scenario catalog with a golden-file regression harness
+//     (Scenarios, RunScenario, DiffScenario, cmd/wsn-scenarios) pinning
+//     analytic-vs-simulated agreement across the operating space.
 //
 // # Quick start
 //
@@ -82,6 +85,35 @@
 // points, batch elements and replicas). See examples/serveclient for a
 // complete client. -pprof 127.0.0.1:6060 exposes net/http/pprof on a
 // separate listener for production profiles of the simulation cores.
+//
+// # Scenario catalog and golden regression harness
+//
+// internal/scenario holds a committed catalog of ~15 named operating points
+// spanning the axes the paper's figures only sample: density (5→200 nodes),
+// traffic (λ ≈ 0.001→0.87), beacon order (BO 3→9), payload (20→123 B),
+// path-loss populations reaching the >88 dB efficiency cliff, and the §5
+// scalable-receiver improvement. Each scenario runs through BOTH the
+// analytical model (integrated over its loss population) and the
+// discrete-event simulator (replicated, with 95% confidence intervals), and
+// their agreement is scored per metric against the scenario's declared
+// tolerances (absolute + relative + CI slack).
+//
+// The committed golden files (internal/scenario/testdata/*.golden.json) pin
+// every output byte. Runs are deterministic at any worker count, so on one
+// platform a golden mismatch is a behavior change, not noise; across
+// platforms, drift must stay inside the tolerances. The harness:
+//
+//	go test ./internal/scenario                          # verify goldens + agreement
+//	go test ./internal/scenario -run TestGoldens -update # regenerate after an intended change
+//	go run ./cmd/wsn-scenarios list                      # the catalog
+//	go run ./cmd/wsn-scenarios run  [name ...]           # run, report agreement
+//	go run ./cmd/wsn-scenarios diff [name ...]           # regression gate vs embedded goldens
+//
+// The service mirrors the catalog at GET /v1/scenarios (the catalog),
+// GET /v1/scenarios/{name} (the committed golden) and POST
+// /v1/scenarios/{name} (a fresh run, optionally diffed against its golden).
+// To add a scenario, append it to internal/scenario/catalog.go, regenerate
+// with -update and commit both; see examples/scenarios for a walkthrough.
 //
 // # Zero-allocation simulation cores
 //

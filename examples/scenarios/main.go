@@ -1,0 +1,71 @@
+// Command scenarios walks through the cross-model scenario catalog: what a
+// scenario declares, how one runs through both the analytical model and the
+// discrete-event simulator, how agreement is scored, and how the committed
+// golden files turn the catalog into a regression harness.
+//
+//	go run ./examples/scenarios
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dense802154"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. The catalog: named operating points spanning density, traffic,
+	// duty cycle, payload and deployment geometry.
+	fmt.Println("== The scenario catalog ==")
+	for _, sc := range dense802154.Scenarios() {
+		load, _ := sc.Load()
+		fmt.Printf("  %-24s %3d nodes × %3d B, BO=SO=%d, λ=%.3f\n",
+			sc.Name, sc.Nodes, sc.PayloadBytes, sc.BO, load)
+	}
+
+	// 2. Run one scenario through BOTH implementations. The same seed
+	// drives every random stream, so this is reproducible bit for bit at
+	// any worker count.
+	name := "baseline-case-study"
+	sc, _ := dense802154.ScenarioByName(name)
+	fmt.Printf("\n== Running %s through both models ==\n", name)
+	res, err := dense802154.RunScenario(ctx, sc, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic:  power %.1f µW, Pr[fail] %.3f, T̄cont %.2f ms, N̄CCA %.2f\n",
+		float64(res.Analytic.MeanPowerUW), float64(res.Analytic.MeanPrFail),
+		float64(res.Analytic.TcontMS), float64(res.Analytic.NCCA))
+	fmt.Printf("simulated: power %.1f ±%.1f µW, Pr[fail] %.3f ±%.3f (%d replicas)\n",
+		float64(res.Sim.PowerUW.Mean), float64(res.Sim.PowerUW.CI95),
+		float64(res.Sim.PrFail.Mean), float64(res.Sim.PrFail.CI95), res.Sim.Replicas)
+
+	// 3. Agreement is scored per metric against the scenario's declared
+	// tolerances (absolute + relative + CI slack).
+	fmt.Println("\n== Agreement scoring ==")
+	for _, c := range res.Comparisons {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("  %-10s analytic %10.4g  sim %10.4g ±%-8.2g |Δ| %8.3g ≤ %8.3g  %s\n",
+			c.Metric, float64(c.Analytic), float64(c.Sim), float64(c.SimCI95),
+			float64(c.AbsDiff), float64(c.Allowed), verdict)
+	}
+
+	// 4. The regression harness: the committed golden pins these bytes.
+	// On the same platform a fresh run must reproduce the golden exactly;
+	// cross-platform, drift must stay inside the tolerances.
+	fmt.Println("\n== Golden diff ==")
+	rep, err := dense802154.DiffScenario(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("byte-identical to committed golden: %v; within tolerance: %v\n",
+		rep.ByteIdentical, rep.Pass)
+	fmt.Println("\nregenerate goldens after an intended behavior change with:")
+	fmt.Println("  go test ./internal/scenario -run TestGoldens -update")
+}

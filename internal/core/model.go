@@ -142,8 +142,11 @@ func (p Params) Validate() error {
 	if p.PayloadBytes < 1 || p.PayloadBytes > frame.MaxDataPayload {
 		return fmt.Errorf("core: payload %d outside 1..%d", p.PayloadBytes, frame.MaxDataPayload)
 	}
-	if p.Load < 0 || p.Load > 1 {
+	if !(p.Load >= 0 && p.Load <= 1) { // the negated form also rejects NaN
 		return fmt.Errorf("core: load %v outside [0,1]", p.Load)
+	}
+	if math.IsNaN(p.PathLossDB) {
+		return fmt.Errorf("core: path loss is NaN")
 	}
 	if p.NMax < 1 {
 		return fmt.Errorf("core: NMax %d < 1", p.NMax)

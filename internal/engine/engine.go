@@ -131,6 +131,16 @@ func MapSlice[T, R any](ctx context.Context, workers int, in []T, fn func(i int,
 // of the worker-count-independent determinism contract.
 func DeriveSeed(root, stream int64) int64 {
 	z := uint64(root) + (uint64(stream)+1)*0x9E3779B97F4A7C15
+	if z == 0 {
+		// The splitmix64 finalizer fixes zero, so a zero pre-mix input
+		// would hand the caller back seed 0 — and with it its own root:
+		// DeriveSeed(0, -1) was 0, collapsing netsim's node-stream domain
+		// onto the shard/replica domains for the default seed. Displace
+		// the one degenerate input with a constant that is no reachable
+		// multiple of the gamma (its gamma-quotient is ≈ 2^63), so the
+		// displaced stream cannot alias another stream of the same root.
+		z = 0xD1B54A32D192ED03
+	}
 	z ^= z >> 30
 	z *= 0xBF58476D1CE4E5B9
 	z ^= z >> 27

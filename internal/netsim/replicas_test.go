@@ -2,8 +2,11 @@ package netsim
 
 import (
 	"context"
+	"math"
 	"testing"
 	"time"
+
+	"dense802154/internal/channel"
 )
 
 func replicaTestConfig() Config {
@@ -111,5 +114,78 @@ func TestRunReplicasCancellation(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("RunReplicas did not honor cancellation")
+	}
+}
+
+// TestRunReplicasSingleReplica pins the degenerate statistics contract:
+// one replica yields zero-width confidence intervals — not NaN — with mean,
+// min and max all equal to the single observation.
+func TestRunReplicasSingleReplica(t *testing.T) {
+	cfg := Config{Nodes: 5, Superframes: 3, Seed: 9}
+	rs, err := RunReplicas(context.Background(), cfg, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Replicas != 1 || len(rs.Results) != 1 {
+		t.Fatalf("replicas = %d, results = %d", rs.Replicas, len(rs.Results))
+	}
+	stats := map[string]ReplicaStat{
+		"power":    rs.AvgPowerUW,
+		"delivery": rs.DeliveryRatio,
+		"prfail":   rs.PrFail,
+		"prcf":     rs.PrCF,
+		"prcol":    rs.PrCol,
+		"ncca":     rs.NCCA,
+		"tcont":    rs.TcontMS,
+		"delay":    rs.MeanDelayMS,
+	}
+	for name, s := range stats {
+		if math.IsNaN(s.Mean) || math.IsNaN(s.CI95) {
+			t.Errorf("%s: NaN statistic %+v", name, s)
+		}
+		if s.CI95 != 0 {
+			t.Errorf("%s: single replica must have zero-width CI, got %v", name, s.CI95)
+		}
+		if s.Mean != s.Min || s.Mean != s.Max {
+			t.Errorf("%s: mean %v outside min/max %v/%v", name, s.Mean, s.Min, s.Max)
+		}
+	}
+}
+
+// TestRunReplicasClampsNonPositiveN: n ≤ 0 clamps to one replica instead of
+// producing an empty (all-NaN) set.
+func TestRunReplicasClampsNonPositiveN(t *testing.T) {
+	cfg := Config{Nodes: 3, Superframes: 2, Seed: 9}
+	for _, n := range []int{0, -5} {
+		rs, err := RunReplicas(context.Background(), cfg, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Replicas != 1 || len(rs.Results) != 1 {
+			t.Errorf("n=%d: replicas = %d, results = %d", n, rs.Replicas, len(rs.Results))
+		}
+		if math.IsNaN(rs.AvgPowerUW.Mean) || rs.AvgPowerUW.Mean <= 0 {
+			t.Errorf("n=%d: power stat %+v", n, rs.AvgPowerUW)
+		}
+	}
+}
+
+// TestNoDeliveriesNoNaN: a simulation where nothing is ever delivered (all
+// nodes far out of range) reports zero delays and ratios, not NaN — the
+// stats.Percentile empty-input path.
+func TestNoDeliveriesNoNaN(t *testing.T) {
+	cfg := Config{
+		Nodes: 3, Superframes: 3, Seed: 9,
+		Deployment: channel.UniformLoss{MinDB: 140, MaxDB: 150},
+	}
+	r := Run(cfg)
+	if r.PacketsDelivered != 0 {
+		t.Skipf("unexpected delivery at 140+ dB loss: %d", r.PacketsDelivered)
+	}
+	if r.MeanDelay != 0 || r.P95Delay != 0 {
+		t.Errorf("undelivered run reports delays %v/%v", r.MeanDelay, r.P95Delay)
+	}
+	if math.IsNaN(r.DeliveryRatio) || math.IsNaN(r.PrFailPerAttempt) {
+		t.Errorf("undelivered run reports NaN ratios: %+v", r)
 	}
 }

@@ -1,9 +1,7 @@
 package netsim
 
 import (
-	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"dense802154/internal/channel"
@@ -14,6 +12,7 @@ import (
 	"dense802154/internal/mac"
 	"dense802154/internal/phy"
 	"dense802154/internal/radio"
+	"dense802154/internal/stats"
 	"dense802154/internal/units"
 )
 
@@ -397,7 +396,7 @@ func (e *env) collect(horizon time.Duration) Result {
 			acc += d
 		}
 		r.MeanDelay = time.Duration(acc / float64(len(e.delays)) * float64(time.Second))
-		p95 := percentile(e.delays, 0.95)
+		p95 := stats.Percentile(e.delays, 0.95)
 		r.P95Delay = time.Duration(p95 * float64(time.Second))
 	}
 	energyPerNode := float64(ledger.TotalEnergy()) / float64(e.cfg.Nodes)
@@ -411,19 +410,4 @@ func (e *env) collect(horizon time.Duration) Result {
 		PrCol: e.contCol.Value(),
 	}
 	return r
-}
-
-// percentile computes the q-quantile of xs by linear interpolation on a
-// sorted copy (sort.Float64s: O(n log n), where delay lists at paper scale
-// reach thousands of deliveries per replica).
-func percentile(xs []float64, q float64) float64 {
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	pos := q * float64(len(sorted)-1)
-	lo := int(math.Floor(pos))
-	if lo >= len(sorted)-1 {
-		return sorted[len(sorted)-1]
-	}
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }

@@ -125,6 +125,30 @@ func CC2420() *Characterization {
 	return c
 }
 
+// ByName resolves a named characterization — the registry shared by every
+// serialized surface (the HTTP service and the scenario catalog). The empty
+// name selects the baseline CC2420; "cc2420-fast" halves the transition
+// times, "cc2420-scalable" listens at half RX power and "cc2420-improved"
+// combines both §5 improvement perspectives.
+func ByName(name string) (*Characterization, bool) {
+	switch name {
+	case "", "cc2420":
+		return CC2420(), true
+	case "cc2420-fast":
+		return CC2420().WithTransitionScale(0.5), true
+	case "cc2420-scalable":
+		return CC2420().WithScalableReceiver(0.5), true
+	case "cc2420-improved":
+		return CC2420().WithTransitionScale(0.5).WithScalableReceiver(0.5), true
+	}
+	return nil, false
+}
+
+// Names lists the characterizations ByName resolves, baseline first.
+func Names() []string {
+	return []string{"cc2420", "cc2420-fast", "cc2420-scalable", "cc2420-improved"}
+}
+
 // setTransition registers a transition using the worst-case energy rule:
 // transition duration at the arrival-state power (TX at maximum level).
 func (c *Characterization) setTransition(from, to State, d time.Duration) {

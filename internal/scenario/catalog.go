@@ -1,0 +1,167 @@
+package scenario
+
+// Catalog returns the committed scenario catalog: fifteen operating points
+// spanning the axes the paper's point results (Figs. 6-8, the 1600-node
+// case study) only sample — density (5→200 nodes on one channel), traffic
+// (λ ≈ 0.001 → 0.87, per-superframe transmit probabilities 0.1 → 1),
+// beacon order (BO 3 → 9, beacon intervals of 123 ms → 7.9 s), payload
+// (20 → 123 B), path-loss populations reaching the >88 dB efficiency cliff,
+// and the §5 scalable-receiver improvement. Every entry is returned fully
+// defaulted and carries its own agreement tolerances; each has a committed
+// golden file under testdata/.
+//
+// To add a scenario: append it here (pick a fresh name and seed, keep
+// λ ≤ 1), run `go test ./internal/scenario -run TestGolden -update` to
+// write its golden file, eyeball the new testdata/<name>.golden.json
+// (comparisons should pass with honest tolerances, not inflated ones), and
+// commit both.
+func Catalog() []Scenario {
+	list := []Scenario{
+		{
+			Name:        "baseline-case-study",
+			Description: "The paper's §5 operating point: 100 nodes per channel, 120 B payloads, BO=SO=6, λ≈0.43.",
+			Nodes:       100, PayloadBytes: 120, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 95,
+			Seed: 2005,
+		},
+		{
+			Name:        "sparse-idle",
+			Description: "Five nodes reporting once per ten superframes: the idle-network floor where power is beacon- and sleep-dominated.",
+			Nodes:       5, PayloadBytes: 30, BO: 6, SO: 6, TransmitProb: 0.1,
+			MinLossDB: 55, MaxLossDB: 80,
+			Superframes: 30, Replicas: 4,
+			Seed: 101,
+		},
+		{
+			Name:        "sparse-light",
+			Description: "Ten nodes at half duty: light statistically-multiplexed traffic (λ≈0.012).",
+			Nodes:       10, PayloadBytes: 60, BO: 6, SO: 6, TransmitProb: 0.5,
+			MinLossDB: 55, MaxLossDB: 85,
+			Superframes: 30, Replicas: 4,
+			Seed: 102,
+		},
+		{
+			Name:        "mid-density-mixed",
+			Description: "Fifty nodes at 80% duty with mid-size payloads: the middle of the density/traffic plane.",
+			Nodes:       50, PayloadBytes: 80, BO: 6, SO: 6, TransmitProb: 0.8,
+			MinLossDB: 55, MaxLossDB: 90,
+			Seed: 103,
+		},
+		{
+			Name:        "dense-moderate",
+			Description: "150 nodes with short payloads: dense population at moderate load (λ≈0.36).",
+			Nodes:       150, PayloadBytes: 60, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 95,
+			Seed: 104,
+		},
+		{
+			Name:        "dense-saturated",
+			Description: "200 nodes of full-length packets every superframe: λ≈0.87, the contention-failure regime near saturation.",
+			Nodes:       200, PayloadBytes: 120, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 95,
+			Superframes: 16,
+			Seed:        105,
+		},
+		{
+			Name:        "fast-beacons-small",
+			Description: "BO=SO=3 (123 ms beacon interval): short duty cycles with a small population and payloads.",
+			Nodes:       20, PayloadBytes: 40, BO: 3, SO: 3, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 85,
+			Superframes: 40, MCSuperframes: 80,
+			Seed: 106,
+		},
+		{
+			Name:        "fast-beacons-busy",
+			Description: "BO=SO=4 at λ≈0.38: frequent beacons under real contention.",
+			Nodes:       40, PayloadBytes: 60, BO: 4, SO: 4, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 90,
+			Superframes: 30, MCSuperframes: 60,
+			Seed: 107,
+		},
+		{
+			Name:        "slow-beacons-dense",
+			Description: "BO=SO=8 (3.9 s beacon interval): the case-study population at a quarter of its per-time load.",
+			Nodes:       100, PayloadBytes: 120, BO: 8, SO: 8, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 95,
+			Superframes: 12, Replicas: 4,
+			Seed: 108,
+		},
+		{
+			Name:        "very-slow-beacons",
+			Description: "BO=SO=9 (7.9 s beacon interval): long duty cycles where wake-up and beacon tracking dominate the energy budget.",
+			Nodes:       150, PayloadBytes: 100, BO: 9, SO: 9, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 95,
+			Superframes: 10, Replicas: 4,
+			Seed: 109,
+		},
+		{
+			Name:        "tiny-payload-dense",
+			Description: "100 nodes of 20 B sensor readings at BO=SO=5: overhead-dominated packets (the left edge of Fig. 8). Short packets amplify the simulator's correlated same-superframe collision retries, so the failure/power envelopes are wider here.",
+			Nodes:       100, PayloadBytes: 20, BO: 5, SO: 5, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 90,
+			Superframes: 24,
+			Seed:        110,
+			Tol: Tolerances{
+				PowerUW: Tolerance{Rel: 0.30, CIMult: 3},
+				PrFail:  Tolerance{Abs: 0.12, Rel: 0.60, CIMult: 3},
+				PrCF:    Tolerance{Abs: 0.05, Rel: 1.0, CIMult: 3},
+				NCCA:    Tolerance{Rel: 0.50, CIMult: 3},
+				TcontMS: Tolerance{Abs: 0.5, Rel: 0.65, CIMult: 3},
+			},
+		},
+		{
+			Name:        "max-payload-mid",
+			Description: "The largest payload the paper considers (123 B) on a mid-size population.",
+			Nodes:       80, PayloadBytes: 123, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 95,
+			Seed: 111,
+		},
+		{
+			Name:        "range-edge-retries",
+			Description: "A population concentrated at 78-95 dB, beyond the link budget's comfort zone: corruption-driven retries and NMax exhaustion.",
+			Nodes:       60, PayloadBytes: 120, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 78, MaxLossDB: 95,
+			Superframes: 24, Replicas: 6,
+			Seed: 112,
+		},
+		{
+			Name:        "hidden-margin-geometry",
+			Description: "A near/far split population (55-65 dB against the -82 dBm inversion target): high RX margins, collisions rather than corruption decide failures.",
+			Nodes:       120, PayloadBytes: 100, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 65, TargetPRxDBm: -82,
+			Seed: 113,
+		},
+		{
+			Name:        "low-power-listen",
+			Description: "The §5 scalable-receiver improvement: CCAs and acknowledgment waits at half RX power on the case-study point.",
+			Nodes:       100, PayloadBytes: 120, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 95,
+			Radio: "cc2420-scalable", LowPowerListen: true,
+			Seed: 114,
+		},
+	}
+	for i := range list {
+		list[i] = list[i].WithDefaults()
+	}
+	return list
+}
+
+// ByName finds a catalog scenario.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names lists the catalog scenario names in catalog order.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the committed golden files from the current code:
+//
+//	go test ./internal/scenario -run TestGoldens -update
+//
+// Review the diff before committing — a golden change IS a behavior change.
+var update = flag.Bool("update", false, "rewrite the golden files from this run")
+
+// goldenWorkers is the worker count the goldens are generated with. The
+// value is immaterial — TestWorkerCountIndependence proves any other count
+// produces the same bytes — but pinning one keeps the harness honest about
+// what it claims.
+const goldenWorkers = 2
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden.json")
+}
+
+// TestGoldens runs every catalog scenario through both models and compares
+// the canonical encoding byte for byte against the committed golden, then
+// asserts the analytic-vs-simulated agreement held within each scenario's
+// tolerances.
+func TestGoldens(t *testing.T) {
+	for _, sc := range Catalog() {
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(context.Background(), sc, goldenWorkers)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got, err := res.Encode()
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			path := goldenPath(sc.Name)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				t.Logf("wrote %s (%d bytes, pass=%v)", path, len(got), res.Pass)
+			} else {
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (regenerate with -update): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("golden mismatch for %s:\n%s", sc.Name, goldenDiff(want, got))
+				}
+			}
+			for _, c := range res.Comparisons {
+				if !c.Pass {
+					t.Errorf("agreement failure on %s: analytic %g vs sim %g (±%g), |Δ| %g > allowed %g",
+						c.Metric, float64(c.Analytic), float64(c.Sim), float64(c.SimCI95),
+						float64(c.AbsDiff), float64(c.Allowed))
+				}
+			}
+			if !res.Pass {
+				t.Errorf("scenario %s failed analytic-vs-sim agreement", sc.Name)
+			}
+		})
+	}
+}
+
+// goldenDiff renders the first divergent lines of two golden encodings.
+func goldenDiff(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	var buf bytes.Buffer
+	shown := 0
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var lw, lg []byte
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if !bytes.Equal(lw, lg) {
+			fmt.Fprintf(&buf, "line %d:\n  golden: %s\n  got:    %s\n", i+1, lw, lg)
+			if shown++; shown >= 8 {
+				buf.WriteString("  ... (further differences elided)\n")
+				break
+			}
+		}
+	}
+	return buf.String()
+}
+
+// TestWorkerCountIndependence proves the acceptance criterion "byte-stable
+// at any worker count": serial and oversubscribed runs of the same scenario
+// must encode to identical bytes.
+func TestWorkerCountIndependence(t *testing.T) {
+	for _, name := range []string{"baseline-case-study", "sparse-light", "fast-beacons-busy"} {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("scenario %s not in catalog", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			serial, err := Run(context.Background(), sc, 1)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			wide, err := Run(context.Background(), sc, 5)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			a, _ := serial.Encode()
+			b, _ := wide.Encode()
+			if !bytes.Equal(a, b) {
+				t.Errorf("workers=1 and workers=5 encode differently:\n%s", goldenDiff(a, b))
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeRoundTrip proves goldens parse back into an equivalent
+// Result (the CLI diff path) and re-encode to the same bytes.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sc, _ := ByName("sparse-idle")
+	res, err := Run(context.Background(), sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(b1)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	b2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("encode → decode → encode changed bytes:\n%s", goldenDiff(b1, b2))
+	}
+}
+
+// TestCancellation proves a canceled context aborts a run promptly.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc, _ := ByName("baseline-case-study")
+	if _, err := Run(ctx, sc, 2); err == nil {
+		t.Fatal("Run with canceled context succeeded")
+	}
+}

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"time"
+
+	"dense802154/internal/channel"
+	"dense802154/internal/contention"
+	"dense802154/internal/core"
+	"dense802154/internal/netsim"
+	"dense802154/internal/phy"
+	"dense802154/internal/radio"
+	"dense802154/internal/wire"
+)
+
+// AnalyticResult summarizes the expected-value model over the scenario's
+// path-loss population.
+type AnalyticResult struct {
+	// Load is the offered network load λ both models consume.
+	Load wire.Float `json:"load"`
+	// MeanPowerUW is the population-mean per-node average power [µW],
+	// scaled by the transmit probability (a node with nothing to send
+	// sleeps through the superframe, exactly as the simulator's nodes do).
+	MeanPowerUW wire.Float `json:"mean_power_uw"`
+	// MeanPrFail is the population-mean per-packet failure probability
+	// (eq. 13: channel access failure or NMax exhaustion).
+	MeanPrFail wire.Float `json:"mean_pr_fail"`
+	// Contention-side quantities from the Monte-Carlo source at (payload,
+	// λ) — the Fig. 6 inputs of every grid point.
+	TcontMS wire.Float `json:"tcont_ms"`
+	NCCA    wire.Float `json:"ncca"`
+	PrCF    wire.Float `json:"pr_cf"`
+	PrCol   wire.Float `json:"pr_col"`
+}
+
+// SimStat is the JSON form of one across-replica statistic.
+type SimStat struct {
+	Mean wire.Float `json:"mean"`
+	CI95 wire.Float `json:"ci95"`
+	Min  wire.Float `json:"min"`
+	Max  wire.Float `json:"max"`
+}
+
+func simStat(s netsim.ReplicaStat) SimStat {
+	return SimStat{Mean: wire.Float(s.Mean), CI95: wire.Float(s.CI95), Min: wire.Float(s.Min), Max: wire.Float(s.Max)}
+}
+
+// SimResult summarizes the discrete-event replications.
+type SimResult struct {
+	Replicas int     `json:"replicas"`
+	Seeds    []int64 `json:"seeds"`
+
+	PowerUW       SimStat `json:"power_uw"`
+	DeliveryRatio SimStat `json:"delivery_ratio"`
+	PrFail        SimStat `json:"pr_fail"`
+	PrCF          SimStat `json:"pr_cf"`
+	PrCol         SimStat `json:"pr_col"`
+	NCCA          SimStat `json:"ncca"`
+	TcontMS       SimStat `json:"tcont_ms"`
+	MeanDelayMS   SimStat `json:"mean_delay_ms"`
+}
+
+// Comparison scores one metric's analytic-vs-simulated agreement against
+// the scenario's tolerance.
+type Comparison struct {
+	Metric   string     `json:"metric"`
+	Analytic wire.Float `json:"analytic"`
+	Sim      wire.Float `json:"sim"`
+	SimCI95  wire.Float `json:"sim_ci95"`
+	AbsDiff  wire.Float `json:"abs_diff"`
+	Allowed  wire.Float `json:"allowed"`
+	Pass     bool       `json:"pass"`
+}
+
+// Result is one scenario's full cross-model outcome — the unit the golden
+// files pin byte for byte.
+type Result struct {
+	Scenario    Scenario       `json:"scenario"`
+	Analytic    AnalyticResult `json:"analytic"`
+	Sim         SimResult      `json:"sim"`
+	Comparisons []Comparison   `json:"comparisons"`
+	// Pass is true when every comparison is within tolerance.
+	Pass bool `json:"pass"`
+}
+
+// Encode renders the canonical golden-file bytes: two-space-indented JSON
+// with a trailing newline. The encoding is byte-stable — the same Result
+// always produces the same bytes (struct order is fixed, floats use the
+// shortest exact form, no maps are involved) — so goldens diff cleanly.
+func (r *Result) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses golden-file bytes back into a Result.
+func Decode(b []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Run executes one scenario through both the analytical model and the
+// discrete-event simulator and scores their agreement. workers bounds the
+// parallelism of the analytic grid sweep and the simulation replicas (0 ⇒
+// NumCPU); results are bit-identical at any worker count, because both
+// engines derive every random stream from the scenario seed alone. A
+// canceled ctx aborts promptly with ctx.Err().
+func Run(ctx context.Context, sc Scenario, workers int) (*Result, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sf, err := sc.Superframe()
+	if err != nil {
+		return nil, err
+	}
+	rad, _ := radio.ByName(sc.Radio)
+	load, err := sc.Load()
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Analytic side: integrate the model over the loss population ----
+	// One Monte-Carlo contention characterization serves every grid point
+	// (the source memoizes on the quantized (payload, λ) key). The MC run
+	// itself is sharded worker-count-independently, so pinning Workers here
+	// only bounds its parallelism, never its statistics.
+	src := contention.NewMCSource(contention.Config{
+		Superframe:  sf,
+		Superframes: sc.MCSuperframes,
+		Seed:        sc.Seed,
+		Workers:     1,
+	})
+	losses := channel.LossGrid(sc.MinLossDB, sc.MaxLossDB, sc.LossGridPoints)
+	params := make([]core.Params, len(losses))
+	for i, loss := range losses {
+		// Channel inversion exactly as the simulator's nodes do it: the
+		// lowest level reaching the target received power (the maximum
+		// level when the target is out of reach).
+		level, _ := rad.LevelIndexFor(sc.TargetPRxDBm + loss)
+		params[i] = core.Params{
+			Radio:        rad,
+			BER:          phy.Eq1,
+			Contention:   src,
+			Superframe:   sf,
+			PayloadBytes: sc.PayloadBytes,
+			Load:         load,
+			PathLossDB:   loss,
+			TXLevelIndex: level,
+			NMax:         sc.NMax,
+			BeaconBytes:  30,
+			WakeupLead:   time.Millisecond,
+			CCAListen:    phy.CCADuration,
+			// The simulator charges the actual acknowledgment reception on
+			// success, not the paper's worst-case full window.
+			PaperAckAccounting:     false,
+			IncludeIFS:             true,
+			IncludeShutdownLeakage: true,
+			Workers:                1,
+		}
+	}
+	metrics, err := core.EvaluateBatch(ctx, workers, params)
+	if err != nil {
+		return nil, err
+	}
+	tib := sf.BeaconInterval().Seconds()
+	leak := float64(rad.ShutdownPower)
+	var sumPowerW, sumPrFail float64
+	for _, m := range metrics {
+		// A node offers a packet with probability TransmitProb and sleeps
+		// through the whole superframe otherwise (the simulator's nodes
+		// skip even the beacon when idle), so the expected power blends the
+		// full active superframe with a pure-sleep one.
+		activeE := float64(m.EnergyPerFrame - m.Breakdown.Sleep)
+		activeT := (m.Tidle + m.TTx + m.TRx).Seconds()
+		p := sc.TransmitProb
+		sleepT := tib - p*activeT
+		if sleepT < 0 {
+			sleepT = 0
+		}
+		sumPowerW += (p*activeE + leak*sleepT) / tib
+		sumPrFail += m.PrFail
+	}
+	n := float64(len(metrics))
+	cont := src.Contention(sc.PayloadBytes, load)
+	analytic := AnalyticResult{
+		Load:        wire.Float(load),
+		MeanPowerUW: wire.Float(sumPowerW / n * 1e6),
+		MeanPrFail:  wire.Float(sumPrFail / n),
+		TcontMS:     wire.Float(float64(cont.Tcont) / float64(time.Millisecond)),
+		NCCA:        wire.Float(cont.NCCA),
+		PrCF:        wire.Float(cont.PrCF),
+		PrCol:       wire.Float(cont.PrCol),
+	}
+
+	// ---- Simulated side: replicated discrete-event runs ----
+	cfg := netsim.Config{
+		Nodes:          sc.Nodes,
+		PayloadBytes:   sc.PayloadBytes,
+		Superframe:     sf,
+		Radio:          rad,
+		Deployment:     channel.UniformLoss{MinDB: sc.MinLossDB, MaxDB: sc.MaxLossDB},
+		TargetPRxDBm:   sc.TargetPRxDBm,
+		NMax:           sc.NMax,
+		TransmitProb:   sc.TransmitProb,
+		Superframes:    sc.Superframes,
+		LowPowerListen: sc.LowPowerListen,
+		Seed:           sc.Seed,
+	}
+	rs, err := netsim.RunReplicas(ctx, cfg, sc.Replicas, workers)
+	if err != nil {
+		return nil, err
+	}
+	sim := SimResult{
+		Replicas:      rs.Replicas,
+		Seeds:         rs.Seeds,
+		PowerUW:       simStat(rs.AvgPowerUW),
+		DeliveryRatio: simStat(rs.DeliveryRatio),
+		PrFail:        simStat(rs.PrFail),
+		PrCF:          simStat(rs.PrCF),
+		PrCol:         simStat(rs.PrCol),
+		NCCA:          simStat(rs.NCCA),
+		TcontMS:       simStat(rs.TcontMS),
+		MeanDelayMS:   simStat(rs.MeanDelayMS),
+	}
+
+	// ---- Agreement scoring ----
+	res := &Result{Scenario: sc, Analytic: analytic, Sim: sim, Pass: true}
+	compare := func(metric string, a float64, s SimStat, tol Tolerance) {
+		diff := a - float64(s.Mean)
+		if diff < 0 {
+			diff = -diff
+		}
+		allowed := tol.Allowed(a, float64(s.Mean), float64(s.CI95))
+		pass := diff <= allowed
+		if !pass {
+			res.Pass = false
+		}
+		res.Comparisons = append(res.Comparisons, Comparison{
+			Metric:   metric,
+			Analytic: wire.Float(a),
+			Sim:      s.Mean,
+			SimCI95:  s.CI95,
+			AbsDiff:  wire.Float(diff),
+			Allowed:  wire.Float(allowed),
+			Pass:     pass,
+		})
+	}
+	compare("power_uw", float64(analytic.MeanPowerUW), sim.PowerUW, sc.Tol.PowerUW)
+	compare("pr_fail", float64(analytic.MeanPrFail), sim.PrFail, sc.Tol.PrFail)
+	compare("pr_cf", float64(analytic.PrCF), sim.PrCF, sc.Tol.PrCF)
+	compare("ncca", float64(analytic.NCCA), sim.NCCA, sc.Tol.NCCA)
+	compare("tcont_ms", float64(analytic.TcontMS), sim.TcontMS, sc.Tol.TcontMS)
+	return res, nil
+}

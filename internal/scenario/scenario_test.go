@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"math"
+	"regexp"
+	"testing"
+)
+
+// TestCatalogValid checks the catalog invariants: at least a dozen
+// scenarios, unique kebab-case names, every entry fully defaulted, valid,
+// and below saturation.
+func TestCatalogValid(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 12 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 12", len(cat))
+	}
+	kebab := regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
+	seen := map[string]bool{}
+	for _, sc := range cat {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if !kebab.MatchString(sc.Name) {
+			t.Errorf("scenario name %q is not kebab-case", sc.Name)
+		}
+		if sc.Description == "" {
+			t.Errorf("scenario %s has no description", sc.Name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", sc.Name, err)
+		}
+		if sc != sc.WithDefaults() {
+			t.Errorf("scenario %s is not stored fully defaulted", sc.Name)
+		}
+		load, err := sc.Load()
+		if err != nil {
+			t.Errorf("scenario %s: %v", sc.Name, err)
+		}
+		if load <= 0 || load > 1 {
+			t.Errorf("scenario %s: load %g outside (0,1]", sc.Name, load)
+		}
+	}
+}
+
+// TestCatalogSpansAxes asserts the catalog actually covers the space the
+// package documents: sparse→dense, light→saturated, short→long beacon
+// orders and both radio families.
+func TestCatalogSpansAxes(t *testing.T) {
+	var minNodes, maxNodes = 1 << 30, 0
+	var minLoad, maxLoad = 2.0, 0.0
+	var minBO, maxBO uint8 = 255, 0
+	radios := map[string]bool{}
+	for _, sc := range Catalog() {
+		if sc.Nodes < minNodes {
+			minNodes = sc.Nodes
+		}
+		if sc.Nodes > maxNodes {
+			maxNodes = sc.Nodes
+		}
+		load, _ := sc.Load()
+		if load < minLoad {
+			minLoad = load
+		}
+		if load > maxLoad {
+			maxLoad = load
+		}
+		if sc.BO < minBO {
+			minBO = sc.BO
+		}
+		if sc.BO > maxBO {
+			maxBO = sc.BO
+		}
+		radios[sc.Radio] = true
+	}
+	if minNodes > 10 || maxNodes < 150 {
+		t.Errorf("density axis too narrow: %d..%d nodes", minNodes, maxNodes)
+	}
+	if minLoad > 0.05 || maxLoad < 0.7 {
+		t.Errorf("traffic axis too narrow: λ %g..%g", minLoad, maxLoad)
+	}
+	if minBO > 4 || maxBO < 8 {
+		t.Errorf("duty-cycle axis too narrow: BO %d..%d", minBO, maxBO)
+	}
+	if len(radios) < 2 {
+		t.Errorf("catalog exercises only radios %v", radios)
+	}
+}
+
+// TestByName round-trips every catalog name and rejects unknown ones.
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		sc, ok := ByName(name)
+		if !ok || sc.Name != name {
+			t.Errorf("ByName(%q) = %q, %v", name, sc.Name, ok)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// TestValidateRejections covers the validator's error paths.
+func TestValidateRejections(t *testing.T) {
+	base, _ := ByName("baseline-case-study")
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"empty name", func(s *Scenario) { s.Name = "" }},
+		{"zero nodes", func(s *Scenario) { s.Nodes = 0 }},
+		{"payload too large", func(s *Scenario) { s.PayloadBytes = 1000 }},
+		{"SO > BO", func(s *Scenario) { s.SO = s.BO + 1 }},
+		{"transmit prob > 1", func(s *Scenario) { s.TransmitProb = 1.5 }},
+		{"empty loss range", func(s *Scenario) { s.MinLossDB = s.MaxLossDB }},
+		{"unknown radio", func(s *Scenario) { s.Radio = "cc9999" }},
+		{"NaN transmit prob", func(s *Scenario) { s.TransmitProb = math.NaN() }},
+		{"NaN loss bound", func(s *Scenario) { s.MinLossDB = math.NaN() }},
+		{"infinite loss bound", func(s *Scenario) { s.MaxLossDB = math.Inf(1) }},
+		{"NaN target prx", func(s *Scenario) { s.TargetPRxDBm = math.NaN() }},
+		{"zero replicas", func(s *Scenario) { s.Replicas = 0 }},
+		{"one grid point", func(s *Scenario) { s.LossGridPoints = 1 }},
+		{"saturated", func(s *Scenario) { s.Nodes = 500 }},
+	}
+	for _, tc := range cases {
+		sc := base
+		tc.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid scenario", tc.name)
+		}
+	}
+}

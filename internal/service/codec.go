@@ -1,10 +1,9 @@
 package service
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"strconv"
+	"strings"
 	"time"
 
 	"dense802154/internal/channel"
@@ -16,6 +15,7 @@ import (
 	"dense802154/internal/phy"
 	"dense802154/internal/radio"
 	"dense802154/internal/units"
+	"dense802154/internal/wire"
 )
 
 // Error is a structured request-validation failure; the handlers render it
@@ -39,59 +39,10 @@ func errf(field, format string, args ...any) *Error {
 	return &Error{Field: field, Message: fmt.Sprintf(format, args...)}
 }
 
-// Float is a float64 that survives JSON round-trips bit-exactly, including
-// the non-finite values the model uses for out-of-range nodes (+Inf energy
-// per bit), which encoding/json rejects. Finite values are emitted with the
-// shortest representation that parses back to the same bits; non-finite
-// values are emitted as the strings "+Inf", "-Inf" and "NaN".
-type Float float64
-
-// MarshalJSON implements json.Marshaler.
-func (f Float) MarshalJSON() ([]byte, error) {
-	v := float64(f)
-	switch {
-	case math.IsInf(v, 1):
-		return []byte(`"+Inf"`), nil
-	case math.IsInf(v, -1):
-		return []byte(`"-Inf"`), nil
-	case math.IsNaN(v):
-		return []byte(`"NaN"`), nil
-	}
-	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
-}
-
-// UnmarshalJSON implements json.Unmarshaler.
-func (f *Float) UnmarshalJSON(b []byte) error {
-	if len(b) > 0 && b[0] == '"' {
-		var s string
-		if err := json.Unmarshal(b, &s); err != nil {
-			return err
-		}
-		switch s {
-		case "+Inf", "Inf":
-			*f = Float(math.Inf(1))
-			return nil
-		case "-Inf":
-			*f = Float(math.Inf(-1))
-			return nil
-		case "NaN":
-			*f = Float(math.NaN())
-			return nil
-		}
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return fmt.Errorf("invalid float %q", s)
-		}
-		*f = Float(v)
-		return nil
-	}
-	v, err := strconv.ParseFloat(string(b), 64)
-	if err != nil {
-		return err
-	}
-	*f = Float(v)
-	return nil
-}
+// Float is the exact-round-trip JSON float shared with the scenario golden
+// files; see internal/wire for the encoding contract (shortest finite form,
+// "+Inf"/"-Inf"/"NaN" strings for non-finite values).
+type Float = wire.Float
 
 // SuperframeWire selects the beacon structure.
 type SuperframeWire struct {
@@ -150,19 +101,14 @@ type ParamsWire struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// radioByName resolves the named characterization.
+// radioByName resolves the named characterization through the shared
+// radio.ByName registry.
 func radioByName(name string) (*radio.Characterization, *Error) {
-	switch name {
-	case "", "cc2420":
-		return radio.CC2420(), nil
-	case "cc2420-fast":
-		return radio.CC2420().WithTransitionScale(0.5), nil
-	case "cc2420-scalable":
-		return radio.CC2420().WithScalableReceiver(0.5), nil
-	case "cc2420-improved":
-		return radio.CC2420().WithTransitionScale(0.5).WithScalableReceiver(0.5), nil
+	r, ok := radio.ByName(name)
+	if !ok {
+		return nil, errf("radio", "unknown radio %q (want %s)", name, strings.Join(radio.Names(), ", "))
 	}
-	return nil, errf("radio", "unknown radio %q (want cc2420, cc2420-fast, cc2420-scalable or cc2420-improved)", name)
+	return r, nil
 }
 
 // berByName resolves the named bit-error model.
@@ -617,12 +563,18 @@ func (w *SimConfigWire) Config() (netsim.Config, *Error) {
 		if w.MaxLossDB != nil {
 			hi = float64(*w.MaxLossDB)
 		}
-		if lo >= hi {
-			return cfg, errf("config.min_loss_db", "min %g ≥ max %g", lo, hi)
+		// The comparison form rejects NaN and reversed/infinite ranges in
+		// one go — a non-finite bound would feed garbage losses to every
+		// node.
+		if !(lo < hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return cfg, errf("config.min_loss_db", "loss range %g..%g not a finite ascending interval", lo, hi)
 		}
 		cfg.Deployment = channel.UniformLoss{MinDB: lo, MaxDB: hi}
 	}
 	if w.TargetPRxDBm != nil {
+		if v := float64(*w.TargetPRxDBm); math.IsNaN(v) || math.IsInf(v, 0) {
+			return cfg, errf("config.target_prx_dbm", "must be finite")
+		}
 		cfg.TargetPRxDBm = float64(*w.TargetPRxDBm)
 	}
 	if w.NMax != nil {
@@ -632,8 +584,8 @@ func (w *SimConfigWire) Config() (netsim.Config, *Error) {
 		cfg.NMax = *w.NMax
 	}
 	if w.TransmitProb != nil {
-		if *w.TransmitProb < 0 || *w.TransmitProb > 1 {
-			return cfg, errf("config.transmit_prob", "%g outside [0,1]", float64(*w.TransmitProb))
+		if v := float64(*w.TransmitProb); !(v >= 0 && v <= 1) { // also rejects NaN
+			return cfg, errf("config.transmit_prob", "%g outside [0,1]", v)
 		}
 		cfg.TransmitProb = float64(*w.TransmitProb)
 	}
@@ -716,19 +668,7 @@ func replicaStatWire(s netsim.ReplicaStat) ReplicaStatWire {
 }
 
 // floats converts a float64 slice to the exact-round-trip wire type.
-func floats(xs []float64) []Float {
-	out := make([]Float, len(xs))
-	for i, x := range xs {
-		out[i] = Float(x)
-	}
-	return out
-}
+func floats(xs []float64) []Float { return wire.Floats(xs) }
 
 // float64s converts back.
-func float64s(xs []Float) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = float64(x)
-	}
-	return out
-}
+func float64s(xs []Float) []float64 { return wire.Float64s(xs) }

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// The service decodes attacker-controlled JSON. These fuzz targets pin the
+// decoder's crash-safety contract: malformed bodies, hostile numbers and
+// absent fields must produce a structured error or a defaulted value —
+// never a panic. Seed corpora live in testdata/fuzz/<Target>/; run the
+// fuzzers locally with
+//
+//	go test ./internal/service -fuzz FuzzParamsWireDecode -fuzztime 30s
+
+// strictDecode mirrors decodeJSON's settings (unknown-field rejection,
+// trailing-garbage detection) without the HTTP plumbing.
+func strictDecode(data []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errTrailing
+	}
+	return nil
+}
+
+var errTrailing = &Error{Message: "trailing data"}
+
+// FuzzFloatRoundTrip: any byte string the Float decoder accepts must
+// re-encode and decode back to the identical bits — including ±Inf and NaN.
+func FuzzFloatRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		`1.5`, `-0`, `1e308`, `-1e-308`, `"+Inf"`, `"-Inf"`, `"NaN"`, `"Inf"`,
+		`"1.25"`, `3.141592653589793`, `""`, `"x"`, `[1]`, `{`, `5e-324`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Float
+		if err := json.Unmarshal(data, &v); err != nil {
+			return // rejection is fine; panics are not
+		}
+		enc, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("accepted %q but cannot re-encode: %v", data, err)
+		}
+		var back Float
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("re-encoded %q → %q does not decode: %v", data, enc, err)
+		}
+		if math.Float64bits(float64(back)) != math.Float64bits(float64(v)) {
+			t.Fatalf("round-trip %q → %v → %q → %v changed bits", data, float64(v), enc, float64(back))
+		}
+	})
+}
+
+// FuzzParamsWireDecode: the evaluate/batch request codec must never panic,
+// and any body it accepts must materialize into validated core.Params (or a
+// structured *Error) — defaulting included.
+func FuzzParamsWireDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"payload_bytes":60,"load":0.25}`,
+		`{"load":"+Inf"}`,
+		`{"path_loss_db":"NaN","tx_level":-1}`,
+		`{"superframe":{"bo":6,"so":6},"contention":{"source":"approx"}}`,
+		`{"contention":{"source":"montecarlo","superframes":12,"seed":7,"arrival":"at-beacon"}}`,
+		`{"radio":"cc2420-improved","ber":"awgn","n_max":100}`,
+		`{"wakeup_lead_ns":-1}`,
+		`{"beacon_bytes":0}`,
+		`{"payload_bytes":null}`,
+		`{"unknown_field":1}`,
+		`{"workers":9999999}`,
+		`{"load":1e999}`,
+		`{} trailing`,
+		`[{"payload_bytes":1}]`,
+		`{"superframe":{"bo":255,"so":255}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pw ParamsWire
+		if err := strictDecode(data, &pw); err != nil {
+			return
+		}
+		p, aerr := pw.Params(2, 1)
+		if aerr != nil {
+			if aerr.Message == "" {
+				t.Fatalf("empty validation error for %q", data)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted body %q produced invalid params: %v", data, err)
+		}
+	})
+}
+
+// FuzzSimConfigWireDecode: the /v1/simulate codec must never panic and must
+// bound-check every accepted field.
+func FuzzSimConfigWireDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"nodes":100,"superframes":20,"seed":1}`,
+		`{"nodes":0}`,
+		`{"nodes":10001}`,
+		`{"min_loss_db":"+Inf","max_loss_db":"-Inf"}`,
+		`{"min_loss_db":95,"max_loss_db":55}`,
+		`{"transmit_prob":"NaN"}`,
+		`{"superframe":{"bo":3,"so":9}}`,
+		`{"radio":"bogus"}`,
+		`{"payload_bytes":124}`,
+		`{"max_packet_superframes":0,"low_power_listen":true}`,
+		`{"target_prx_dbm":-87,"n_max":5,"beacon_bytes":30}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sw SimConfigWire
+		if err := strictDecode(data, &sw); err != nil {
+			return
+		}
+		cfg, aerr := (&sw).Config()
+		if aerr != nil {
+			if aerr.Message == "" {
+				t.Fatalf("empty validation error for %q", data)
+			}
+			return
+		}
+		// Accepted configs must stay inside the wire bounds after
+		// defaulting (a panic or a bound escape here would let a client
+		// pin a worker forever).
+		if cfg.Nodes < 0 || cfg.Nodes > 10000 {
+			t.Fatalf("accepted body %q produced %d nodes", data, cfg.Nodes)
+		}
+		if cfg.Superframes < 0 || cfg.Superframes > 100000 {
+			t.Fatalf("accepted body %q produced %d superframes", data, cfg.Superframes)
+		}
+		if sw.TransmitProb != nil && !(cfg.TransmitProb >= 0 && cfg.TransmitProb <= 1) {
+			t.Fatalf("accepted body %q produced transmit prob %v", data, cfg.TransmitProb)
+		}
+	})
+}
+
+// FuzzCaseStudyConfigWireDecode: the /v1/casestudy codec must never panic.
+func FuzzCaseStudyConfigWireDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"nodes":1600,"channels":16}`,
+		`{"nodes":-1}`,
+		`{"min_loss_db":60,"max_loss_db":60}`,
+		`{"loss_grid_points":1}`,
+		`{"data_bytes_per_second":"+Inf"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cw CaseStudyConfigWire
+		if err := strictDecode(data, &cw); err != nil {
+			return
+		}
+		if _, aerr := (&cw).Config(); aerr != nil && aerr.Message == "" {
+			t.Fatalf("empty validation error for %q", data)
+		}
+	})
+}

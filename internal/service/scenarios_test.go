@@ -1,0 +1,95 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dense802154/internal/scenario"
+)
+
+// TestScenarioList returns the full committed catalog.
+func TestScenarioList(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/scenarios", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Scenarios []scenario.Scenario `json:"scenarios"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Scenarios) != len(scenario.Catalog()) {
+		t.Fatalf("listed %d scenarios, catalog has %d", len(resp.Scenarios), len(scenario.Catalog()))
+	}
+	for i, sc := range scenario.Catalog() {
+		if resp.Scenarios[i].Name != sc.Name {
+			t.Errorf("scenario %d: %q vs catalog %q", i, resp.Scenarios[i].Name, sc.Name)
+		}
+	}
+}
+
+// TestScenarioGolden serves the committed golden bytes verbatim.
+func TestScenarioGolden(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	name := scenario.Names()[0]
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/scenarios/"+name, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	want, _ := scenario.Golden(name)
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Error("served golden differs from the embedded bytes")
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/scenarios/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown scenario: status %d", rec.Code)
+	}
+}
+
+// TestScenarioRun runs a cheap scenario over HTTP with a golden diff and
+// checks the fresh result is byte-identical to the committed golden —
+// HTTP-vs-in-process parity for the whole cross-model pipeline.
+func TestScenarioRun(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/scenarios/sparse-light",
+		strings.NewReader(`{"workers":2,"diff":true}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Result *scenario.Result     `json:"result"`
+		Diff   *scenario.DiffReport `json:"diff"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Result == nil || !resp.Result.Pass {
+		t.Fatalf("scenario run did not pass: %+v", resp.Result)
+	}
+	if resp.Diff == nil || !resp.Diff.ByteIdentical || !resp.Diff.Pass {
+		t.Errorf("diff not byte-identical/passing: %+v", resp.Diff)
+	}
+
+	// Unknown name and malformed body are structured errors, not panics.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/scenarios/nope", strings.NewReader(`{}`)))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown scenario: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/scenarios/sparse-light", strings.NewReader(`{"workers":`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", rec.Code)
+	}
+}

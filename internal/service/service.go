@@ -18,6 +18,9 @@
 //	POST /v1/simulate                netsim with server-side parallel replications
 //	GET  /v1/experiments             registered paper drivers
 //	POST /v1/experiments/{name}      run one driver
+//	GET  /v1/scenarios               the committed cross-model scenario catalog
+//	GET  /v1/scenarios/{name}        the committed golden result for one scenario
+//	POST /v1/scenarios/{name}        run one scenario fresh (optionally diffed vs its golden)
 //
 // # Concurrency model
 //
@@ -107,6 +110,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("POST /v1/experiments/{name}", s.handleExperimentRun)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
+	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioGolden)
+	s.mux.HandleFunc("POST /v1/scenarios/{name}", s.handleScenarioRun)
 	return s
 }
 

@@ -256,3 +256,44 @@ func TestHistogramString(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+func TestPercentileDegenerate(t *testing.T) {
+	// A single observation is every percentile of itself.
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := Percentile([]float64{7.5}, q); got != 7.5 {
+			t.Errorf("Percentile([7.5], %v) = %v", q, got)
+		}
+	}
+	// Out-of-range q clamps to the extremes instead of indexing out of
+	// bounds.
+	xs := []float64{1, 2, 3}
+	if got := Percentile(xs, -0.5); got != 1 {
+		t.Errorf("Percentile(q<0) = %v, want 1", got)
+	}
+	if got := Percentile(xs, 1.5); got != 3 {
+		t.Errorf("Percentile(q>1) = %v, want 3", got)
+	}
+	// Empty input is NaN for every q, not a panic.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if !math.IsNaN(Percentile(nil, q)) {
+			t.Errorf("Percentile(nil, %v) not NaN", q)
+		}
+		if !math.IsNaN(Percentile([]float64{}, q)) {
+			t.Errorf("Percentile([], %v) not NaN", q)
+		}
+	}
+}
+
+func TestAccumulatorSingleCIZero(t *testing.T) {
+	// One observation: variance, standard error and CI95 are exactly zero
+	// — never NaN — so a 1-replica simulation reports a zero-width
+	// confidence interval.
+	var a Accumulator
+	a.Add(3.25)
+	if v := a.Variance(); v != 0 || math.IsNaN(v) {
+		t.Errorf("Variance after one Add = %v", v)
+	}
+	if ci := a.CI95(); ci != 0 || math.IsNaN(ci) {
+		t.Errorf("CI95 after one Add = %v", ci)
+	}
+}

@@ -1,0 +1,87 @@
+// Package wire holds the JSON primitives shared by every serialized
+// surface of the repository — the HTTP service (internal/service), the
+// scenario golden files (internal/scenario) and their CLI front-ends. The
+// types here guarantee byte-stable, bit-exact round-trips: encoding a value
+// and decoding it back reproduces the original float64 bits, and encoding
+// the same value twice produces the same bytes, which is what lets golden
+// files be compared with bytes.Equal.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Float is a float64 that survives JSON round-trips bit-exactly, including
+// the non-finite values the model uses for out-of-range nodes (+Inf energy
+// per bit), which encoding/json rejects. Finite values are emitted with the
+// shortest representation that parses back to the same bits; non-finite
+// values are emitted as the strings "+Inf", "-Inf" and "NaN".
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = Float(math.Inf(1))
+			return nil
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+			return nil
+		case "NaN":
+			*f = Float(math.NaN())
+			return nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("invalid float %q", s)
+		}
+		*f = Float(v)
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Floats converts a float64 slice to the exact-round-trip wire type.
+func Floats(xs []float64) []Float {
+	out := make([]Float, len(xs))
+	for i, x := range xs {
+		out[i] = Float(x)
+	}
+	return out
+}
+
+// Float64s converts back.
+func Float64s(xs []Float) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
