@@ -1,0 +1,145 @@
+package dense802154_test
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current source")
+
+// TestAPISurfaceGolden pins the exported surface of the root package: every
+// exported function signature, type declaration, constant and variable is
+// dumped to a stable text form and diffed against the committed golden.
+// An accidental breaking change — removing a facade, changing a signature,
+// renaming a type — fails here with a reviewable diff; an intended change
+// is committed with
+//
+//	go test . -run TestAPISurfaceGolden -update
+func TestAPISurfaceGolden(t *testing.T) {
+	got := dumpSurface(t)
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateSurface {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	t.Errorf("the exported API surface changed; if intended, rerun with -update and commit the diff")
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	gotSet := map[string]bool{}
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := map[string]bool{}
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	for _, l := range wantLines {
+		if l != "" && !gotSet[l] {
+			t.Errorf("removed: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if l != "" && !wantSet[l] {
+			t.Errorf("added:   %s", l)
+		}
+	}
+}
+
+var spaceRE = regexp.MustCompile(`\s+`)
+
+// dumpSurface renders the exported declarations of the root package, one
+// per line, sorted.
+func dumpSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["dense802154"]
+	if !ok {
+		t.Fatalf("root package not found (got %v)", pkgs)
+	}
+
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		return spaceRE.ReplaceAllString(buf.String(), " ")
+	}
+
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Recv != nil {
+					continue
+				}
+				cp := *d
+				cp.Doc = nil
+				cp.Body = nil
+				lines = append(lines, render(&cp))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						cp := *s
+						cp.Doc = nil
+						cp.Comment = nil
+						lines = append(lines, "type "+render(&cp))
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range s.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if !exported {
+							continue
+						}
+						cp := *s
+						cp.Doc = nil
+						cp.Comment = nil
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						lines = append(lines, kw+" "+render(&cp))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,121 @@
+// Command wsn-query runs one declarative query against the unified query
+// layer — the same versioned Query type POST /v2/query accepts — and
+// prints the tagged ResultSet as JSON. It is the command-line third of the
+// query surface (in-process dense802154.Run and the HTTP v2 endpoints are
+// the other two): the same request document produces bit-identical bytes
+// through all three.
+//
+// Usage:
+//
+//	wsn-query [-f query.json] [-workers n] [-stream] [-plan]
+//
+// The query document is read from -f, or from stdin when -f is omitted or
+// "-". Examples:
+//
+//	echo '{"kind":"evaluate","params":{"payload_bytes":60,"load":0.25}}' | wsn-query
+//	echo '{"kind":"pathloss-sweep","losses":{"from":55,"to":95,"points":81}}' | wsn-query
+//	echo '{"kind":"replicas","sim":{"nodes":50,"superframes":10},"replicas":8}' | wsn-query -stream
+//	wsn-query -f casestudy.json -workers 4
+//
+// -stream emits NDJSON: one TaskResult per line in plan order (batch
+// elements and simulation replicas land as they complete), then a final
+// {"done":true,...} summary line — the same framing as POST
+// /v2/query/stream. -plan validates and prints the compiled execution plan
+// without running it. -workers overrides the query's own workers field
+// (0 keeps it; results never depend on it).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dense802154/internal/query"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "-", "query JSON file (\"-\" reads stdin)")
+		workers = flag.Int("workers", 0, "worker goroutines, overriding the query's workers field (0 keeps it; results are identical at any count)")
+		stream  = flag.Bool("stream", false, "emit NDJSON task results in plan order instead of one ResultSet document")
+		plan    = flag.Bool("plan", false, "validate and print the execution plan without running it")
+	)
+	flag.Parse()
+	if err := run(*file, *workers, *stream, *plan); err != nil {
+		fmt.Fprintln(os.Stderr, "wsn-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, workers int, stream, planOnly bool) error {
+	var in io.Reader = os.Stdin
+	if file != "" && file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	var q query.Query
+	if err := dec.Decode(&q); err != nil {
+		if errors.Is(err, io.EOF) {
+			return errors.New("empty query document")
+		}
+		return fmt.Errorf("malformed query: %w", err)
+	}
+	if workers > 0 {
+		q.Workers = workers
+	}
+
+	p, err := query.Compile(q)
+	if err != nil {
+		return err
+	}
+	if planOnly {
+		fmt.Printf("%s\n", p)
+		for i, label := range p.Labels() {
+			fmt.Printf("  task %d: %s\n", i, label)
+		}
+		return nil
+	}
+
+	// SIGINT/SIGTERM cancel the plan between tasks and grid points, so an
+	// interrupted paper-scale sweep exits promptly instead of finishing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	out := os.Stdout
+	enc := json.NewEncoder(out)
+	enc.SetEscapeHTML(false)
+
+	var yield func(query.TaskResult) error
+	if stream {
+		yield = func(tr query.TaskResult) error { return enc.Encode(tr) }
+	}
+	rs, err := p.Execute(ctx, q.Workers, yield)
+	if err != nil {
+		return err
+	}
+	if stream {
+		return enc.Encode(struct {
+			Done    bool                      `json:"done"`
+			Count   int                       `json:"count"`
+			Summary *query.ReplicaSummaryWire `json:"summary,omitempty"`
+		}{Done: true, Count: len(rs.Results), Summary: rs.Summary})
+	}
+	body, err := rs.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(body)
+	return err
+}

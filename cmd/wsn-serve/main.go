@@ -2,7 +2,10 @@
 // surface of the repository — analytical evaluations, batches, the §5 case
 // study, the Fig. 7/8 sweeps, the discrete-event simulator with parallel
 // replications and the registered experiment drivers — behind a JSON API
-// with a server-wide worker pool and a bounded contention cache.
+// with a server-wide worker pool and a bounded contention cache. The
+// unified POST /v2/query and /v2/query/stream endpoints accept one
+// declarative Query document per computation (the same type cmd/wsn-query
+// drives locally); the per-endpoint v1 routes are maintained but frozen.
 //
 // Usage:
 //

@@ -3,53 +3,73 @@
 // Wireless Microsensor Networks: Modeling and Improvement Perspectives"
 // (DATE 2005) as a self-contained Go library.
 //
-// The package is a facade over the implementation packages:
+// # Entry point: the unified query API
 //
-//   - the analytical energy/reliability model of the paper's §4
-//     (Params/Evaluate), including the radio activation policy, link
-//     adaptation (Thresholds, OptimalTXLevel), packet-size optimization
-//     (EnergyVsPayload) and the 1600-node case study (RunCaseStudy);
-//   - the measured CC2420 characterization of Fig. 3 (CC2420) and the
-//     derived radios of the §5 improvement perspectives;
-//   - the Monte-Carlo slotted CSMA/CA characterization behind Fig. 6
-//     (ContentionConfig/SimulateContention);
-//   - a cycle-accurate discrete-event network simulator used to validate
-//     the model (SimConfig/Simulate);
-//   - the experiment registry regenerating every table and figure
-//     (Experiments, RunExperiment);
-//   - a concurrent batch-evaluation engine (EvaluateBatch and the Workers
-//     fields of Params/ContentionConfig/ExperimentOpts) running every sweep
-//     on a worker pool;
-//   - an HTTP JSON service exposing all of the above to remote clients
-//     (NewHTTPHandler, cmd/wsn-serve) with a server-wide worker pool and a
-//     bounded contention cache;
-//   - a cross-model scenario catalog with a golden-file regression harness
-//     (Scenarios, RunScenario, DiffScenario, cmd/wsn-scenarios) pinning
-//     analytic-vs-simulated agreement across the operating space.
+// The whole model surface is driven through one declarative, versioned
+// request type: a Query names an operating point in the paper's parameter
+// space (radio, BER model, BO/SO, payload, load, path-loss population,
+// improvement flags — or a grid of them) plus a kind selecting what to
+// compute, and Run returns one tagged ResultSet:
 //
-// # Quick start
+//	rs, err := dense802154.Run(ctx, dense802154.Query{
+//		Kind: dense802154.KindEvaluate, // defaults: the paper's §5 node
+//	})
+//	m := rs.Results[0].Value().(dense802154.Metrics)
+//	// m.AvgPower, m.PrFail, m.Delay, m.Breakdown ...
+//
+// The ten kinds cover the analytical model (evaluate, batch), the §5
+// population integration (casestudy), the Fig. 7/8 sweeps (pathloss-sweep,
+// thresholds, payload-sweep), the discrete-event simulator (simulate,
+// replicas), the cross-model catalog (scenario) and the registered paper
+// drivers (experiment). Grid axes are fields, expressed as explicit lists
+// or ranges — the Query type is JSON-shaped, so a request document works
+// verbatim across every transport:
+//
+//	{"kind":"pathloss-sweep","losses":{"from":55,"to":95,"points":81}}
+//	{"kind":"payload-sweep","payloads":{"values":[20,60,120]}}
+//	{"kind":"replicas","sim":{"nodes":100},"replicas":8}
+//
+// Queries validate eagerly (field-scoped errors), compile to a
+// deterministic plan of engine tasks and execute on the shared worker
+// pool; RunStream additionally yields every TaskResult in plan order
+// (batch elements, simulation replicas) while later tasks still compute.
+// The same JSON-shaped document runs in-process, over HTTP (POST
+// /v2/query) and on the command line (cmd/wsn-query), producing
+// bit-identical bytes through all three (ResultSet.Encode is byte-stable).
+// A new scenario axis is a new Query field — not a new function, endpoint,
+// codec and flag set.
+//
+// # Classic facade functions (maintained, frozen)
+//
+// The per-computation facades — Evaluate, EvaluateBatch, RunCaseStudy,
+// EnergyVsPathLoss, Thresholds, EnergyVsPayload, Simulate,
+// SimulateReplicas, RunScenario, RunExperiment and their *Ctx variants —
+// are thin wrappers over Run, kept for typed convenience and backward
+// compatibility. They are maintained but frozen: new capability lands as
+// Query fields and kinds, and the committed api_surface.golden test pins
+// the exported surface so accidental breaking changes fail CI with a
+// reviewable diff.
 //
 //	p := dense802154.DefaultParams()
-//	m, err := dense802154.Evaluate(p)
-//	// m.AvgPower, m.PrFail, m.Delay, m.Breakdown ...
+//	m, err := dense802154.Evaluate(p) // ≡ Run(ctx, Query{Kind: KindEvaluate, ...})
 //
 // # Concurrency and determinism
 //
-// Sweeps (RunCaseStudy, EnergyVsPathLoss, Thresholds, EnergyVsPayload,
-// EvaluateBatch and the Monte-Carlo contention characterization) execute on
-// a worker pool sized by the relevant Workers field (0 ⇒ runtime.NumCPU(),
-// 1 ⇒ serial). Results are deterministic and worker-count independent:
-// tasks are keyed by grid index, per-shard RNG seeds derive from the run
-// seed alone, and identical contention points are simulated once per
-// process through a shared memoized cache. The cache is LRU-bounded on
-// request (SetContentionCacheLimit), instrumented (ContentionCacheStats)
-// and still resettable (ContentionCacheReset). A canceled context stops
-// EvaluateBatch, RunCaseStudyCtx, the sweep *Ctx variants and
-// SimulateReplicas promptly with ctx.Err().
+// Every computation — single evaluations, sweeps, Monte-Carlo contention
+// characterizations, simulation replicas — runs on a worker pool sized by
+// the relevant Workers knob, resolved by one shared rule (0 ⇒
+// runtime.NumCPU(), 1 ⇒ serial). Results are deterministic and
+// worker-count independent: tasks are keyed by plan/grid index, per-shard
+// RNG seeds derive from the run seed alone, and identical contention
+// points are simulated once per process through a shared memoized cache.
+// The cache is LRU-bounded on request (SetContentionCacheLimit),
+// instrumented (ContentionCacheStats) and resettable
+// (ContentionCacheReset). A canceled context stops Run, RunStream and
+// every *Ctx facade promptly with ctx.Err().
 //
 // # HTTP service
 //
-// cmd/wsn-serve runs the whole model surface as an HTTP JSON API backed by
+// cmd/wsn-serve runs the query surface as an HTTP JSON API backed by
 // NewHTTPHandler:
 //
 //	wsn-serve -addr :8080 -workers 8 -cache-size 4096 -timeout 2m
@@ -58,33 +78,37 @@
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/stats
 //
-//	# one model evaluation (empty fields default to the paper's §5 setup)
-//	curl -d '{"params":{"payload_bytes":60,"load":0.25}}' localhost:8080/v1/evaluate
+//	# the unified endpoint: one Query document per computation
+//	curl -d '{"kind":"evaluate","params":{"payload_bytes":60,"load":0.25}}' localhost:8080/v2/query
+//	curl -d '{"kind":"casestudy"}' localhost:8080/v2/query
+//	curl -d '{"kind":"pathloss-sweep","losses":{"from":55,"to":95,"points":81}}' localhost:8080/v2/query
+//	curl -d '{"kind":"replicas","sim":{"nodes":100},"replicas":8}' localhost:8080/v2/query
 //
-//	# a batch; add ?stream=1 (or "stream":true) for NDJSON as results land
-//	curl -d '{"params":[{"payload_bytes":20},{"payload_bytes":120}]}' localhost:8080/v1/batch
+//	# NDJSON streaming: task results in plan order, then a summary line
+//	curl -N -d '{"kind":"batch","batch":[{"payload_bytes":20},{"payload_bytes":120}]}' \
+//	  localhost:8080/v2/query/stream
 //
-//	# the 1600-node case study, the Fig. 7/8 sweeps, the simulator
-//	curl -d '{}' localhost:8080/v1/casestudy
-//	curl -d '{"params":{"load":0.1}}' localhost:8080/v1/sweep/pathloss
-//	curl -d '{"params":{"load":0.1}}' localhost:8080/v1/sweep/thresholds
-//	curl -d '{"sizes":[20,60,120]}' localhost:8080/v1/sweep/payload
-//	curl -d '{"config":{"nodes":100},"replicas":8}' localhost:8080/v1/simulate
+// The frozen v1 routes (/v1/evaluate, /v1/batch, /v1/casestudy,
+// /v1/sweep/*, /v1/simulate, /v1/experiments, /v1/scenarios) remain for
+// existing clients; internal/service documents the exact v1 → v2 wire
+// mapping. Requests carry optional "workers" fields, but the server clamps
+// every grant to its own -workers token budget, so any number of clients
+// shares one pool; results are bit-identical to in-process calls
+// regardless of the grant. Validation failures return structured 400
+// bodies naming the offending field, and a disconnecting client cancels
+// its computation (observed between plan tasks, grid points and
+// replicas). See examples/serveclient for a complete client. -pprof
+// 127.0.0.1:6060 exposes net/http/pprof on a separate listener for
+// production profiles of the simulation cores.
 //
-//	# registered paper drivers
-//	curl localhost:8080/v1/experiments
-//	curl -d '{"quick":true}' localhost:8080/v1/experiments/fig8
+// # Command line
 //
-// Requests carry optional "workers" fields, but the server clamps every
-// grant to its own -workers token budget, so any number of clients shares
-// one pool; results are bit-identical to in-process calls regardless of
-// the grant. -cache-size bounds the shared contention cache with LRU
-// eviction; /v1/stats reports its hit/miss/eviction counters. Validation
-// failures return structured 400 bodies naming the offending field, and a
-// disconnecting client cancels its computation (observed between grid
-// points, batch elements and replicas). See examples/serveclient for a
-// complete client. -pprof 127.0.0.1:6060 exposes net/http/pprof on a
-// separate listener for production profiles of the simulation cores.
+// cmd/wsn-query runs one Query document against the same layer:
+//
+//	echo '{"kind":"evaluate"}' | wsn-query
+//	wsn-query -f sweep.json -workers 4
+//	wsn-query -f replicas.json -stream   # NDJSON, plan order
+//	wsn-query -f sweep.json -plan        # validate + print the plan
 //
 // # Scenario catalog and golden regression harness
 //
@@ -110,10 +134,10 @@
 //	go run ./cmd/wsn-scenarios diff [name ...]           # regression gate vs embedded goldens
 //
 // The service mirrors the catalog at GET /v1/scenarios (the catalog),
-// GET /v1/scenarios/{name} (the committed golden) and POST
-// /v1/scenarios/{name} (a fresh run, optionally diffed against its golden).
-// To add a scenario, append it to internal/scenario/catalog.go, regenerate
-// with -update and commit both; see examples/scenarios for a walkthrough.
+// GET /v1/scenarios/{name} (the committed golden) and the scenario query
+// kind ({"kind":"scenario","scenario":name,"diff":true}). To add a
+// scenario, append it to internal/scenario/catalog.go, regenerate with
+// -update and commit both; see examples/scenarios for a walkthrough.
 //
 // # Zero-allocation simulation cores
 //

@@ -1,24 +1,32 @@
 // Quickstart: evaluate the average power of a single 802.15.4 sensor node
-// with the paper's analytical model.
+// with the paper's analytical model, through the unified query API — one
+// declarative Query in, one tagged ResultSet out.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"dense802154"
 )
 
 func main() {
-	// The default configuration is the paper's case-study node: CC2420
-	// radio, 120-byte packets, beacon order 6, 43% channel load, 75 dB
-	// path loss, link-adapted transmit power.
-	p := dense802154.DefaultParams()
-	m, err := dense802154.Evaluate(p)
+	// A Query names an operating point and what to compute over it. Empty
+	// params mean the paper's case-study node: CC2420 radio, 120-byte
+	// packets, beacon order 6, 43% channel load, 75 dB path loss,
+	// link-adapted transmit power. The same JSON-shaped document works
+	// in-process (here), over HTTP (POST /v2/query) and on the command
+	// line (wsn-query).
+	rs, err := dense802154.Run(context.Background(), dense802154.Query{
+		Kind: dense802154.KindEvaluate,
+	})
 	if err != nil {
 		panic(err)
 	}
+	m := rs.Results[0].Value().(dense802154.Metrics)
+	p := dense802154.DefaultParams()
 
 	fmt.Println("One 802.15.4 microsensor node in a dense network:")
 	fmt.Printf("  transmit level      : %+g dBm (link-adapted for %g dB path loss)\n",
@@ -42,4 +50,11 @@ func main() {
 	for _, i := range order {
 		fmt.Printf("  %-10s %8.4f%%\n", states[i], fr[i]*100)
 	}
+
+	// The wire form of the same result (what /v2/query and wsn-query
+	// print) is byte-stable: rs.Encode() yields the same bytes on every
+	// run at any worker count.
+	body, _ := rs.Encode()
+	fmt.Printf("\nResultSet encoding: %d bytes, kind=%s, %d task(s)\n",
+		len(body), rs.Kind, len(rs.Results))
 }

@@ -1,7 +1,9 @@
-// Example serveclient drives the Fig. 8 packet-size study through the HTTP
-// batch-evaluation service instead of in-process calls: it POSTs one
-// /v1/sweep/payload request per network load and prints the energy-per-bit
-// table, exactly the workload a dashboard or notebook client would submit.
+// Example serveclient drives the Fig. 8 packet-size study through the
+// unified HTTP query API instead of in-process calls: it POSTs one
+// payload-sweep Query per network load to /v2/query and prints the
+// energy-per-bit table, exactly the workload a dashboard or notebook
+// client would submit. It then re-runs the heaviest sweep through
+// /v2/query/stream to show the NDJSON framing.
 //
 // By default it spins up an in-process server so the example is
 // self-contained; point it at a running wsn-serve with
@@ -10,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -21,14 +24,34 @@ import (
 	"dense802154/internal/service"
 )
 
-type sweepRequest struct {
-	Params map[string]any `json:"params"`
-	Sizes  []int          `json:"sizes"`
+// queryDoc is the /v2/query request: one declarative document per
+// computation (the server validates kind/field compatibility).
+type queryDoc struct {
+	Kind     string         `json:"kind"`
+	Params   map[string]any `json:"params,omitempty"`
+	Payloads map[string]any `json:"payloads,omitempty"`
 }
 
-type sweepResponse struct {
-	SizesBytes []int           `json:"sizes_bytes"`
-	EnergyJ    []service.Float `json:"energy_j_per_bit"`
+// resultSet mirrors the slice of the v2 ResultSet this client consumes.
+type resultSet struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Results []struct {
+		Payload struct {
+			SizesBytes []int           `json:"sizes_bytes"`
+			EnergyJ    []service.Float `json:"energy_j_per_bit"`
+		} `json:"payload"`
+	} `json:"results"`
+}
+
+func post(base, path string, doc queryDoc) (*http.Response, error) {
+	body, _ := json.Marshal(doc)
+	return http.Post(base+path, "application/json", bytes.NewReader(body))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func main() {
@@ -48,36 +71,33 @@ func main() {
 
 	curves := make([][]service.Float, len(loads))
 	for i, load := range loads {
-		req := sweepRequest{
+		doc := queryDoc{
+			Kind: "payload-sweep",
 			Params: map[string]any{
 				"load":       load,
 				"contention": map[string]any{"superframes": 30, "seed": 2005},
 			},
-			Sizes: sizes,
+			Payloads: map[string]any{"values": sizes},
 		}
-		body, _ := json.Marshal(req)
-		resp, err := http.Post(base+"/v1/sweep/payload", "application/json", bytes.NewReader(body))
+		resp, err := post(base, "/v2/query", doc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if resp.StatusCode != http.StatusOK {
 			var e bytes.Buffer
 			e.ReadFrom(resp.Body)
 			resp.Body.Close()
-			fmt.Fprintf(os.Stderr, "HTTP %d: %s\n", resp.StatusCode, e.String())
-			os.Exit(1)
+			fail(fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.String()))
 		}
-		var sr sweepResponse
-		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var rs resultSet
+		if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+			fail(err)
 		}
 		resp.Body.Close()
-		curves[i] = sr.EnergyJ
+		curves[i] = rs.Results[0].Payload.EnergyJ
 	}
 
-	fmt.Println("Fig. 8 over HTTP: link-adapted energy per bit vs payload (75 dB path loss)")
+	fmt.Println("Fig. 8 over /v2/query: link-adapted energy per bit vs payload (75 dB path loss)")
 	fmt.Printf("%-12s", "payload [B]")
 	for _, l := range loads {
 		fmt.Printf("  λ=%.2f [nJ/bit]", l)
@@ -90,6 +110,29 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Println("\nthe energy per bit decreases monotonically up to the 123-byte maximum,")
+
+	// The streaming variant frames the same results as NDJSON — one
+	// task-result line per plan task, then a done line. A payload sweep is
+	// a single task; batches and replica plans stream element by element.
+	resp, err := post(base, "/v2/query/stream", queryDoc{
+		Kind: "payload-sweep",
+		Params: map[string]any{
+			"load":       loads[len(loads)-1],
+			"contention": map[string]any{"superframes": 30, "seed": 2005},
+		},
+		Payloads: map[string]any{"values": sizes},
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+	}
+	fmt.Printf("\n/v2/query/stream framed the same sweep as %d NDJSON lines (tasks + done).\n", lines)
+	fmt.Println("the energy per bit decreases monotonically up to the 123-byte maximum,")
 	fmt.Println("reproducing the paper's packet-sizing conclusion through the service path.")
 }

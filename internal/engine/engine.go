@@ -35,9 +35,12 @@ import (
 	"sync/atomic"
 )
 
-// Workers normalizes a worker-count request: n ≥ 1 is used as given; zero or
-// negative selects runtime.NumCPU().
-func Workers(n int) int {
+// ResolveWorkers normalizes a worker-count request: n ≥ 1 is used as given;
+// zero or negative selects runtime.NumCPU(). It is the single authority on
+// that rule — the core sweeps (via Map/MapSlice), netsim.RunReplicas and the
+// service worker-token limiter all resolve their Workers knobs here, so "0
+// means the whole machine" cannot drift between layers.
+func ResolveWorkers(n int) int {
 	if n >= 1 {
 		return n
 	}
@@ -55,7 +58,7 @@ func Map(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
-	workers = Workers(workers)
+	workers = ResolveWorkers(workers)
 	if workers > n {
 		workers = n
 	}

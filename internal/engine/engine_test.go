@@ -137,12 +137,19 @@ func TestMapEmpty(t *testing.T) {
 	}
 }
 
-func TestWorkersNormalization(t *testing.T) {
-	if Workers(3) != 3 {
-		t.Fatal("explicit worker count not honored")
+// TestResolveWorkers pins the repo-wide worker-resolution semantics every
+// layer (core sweeps, netsim.RunReplicas, the service limiter) shares:
+// explicit counts are honored verbatim, zero and negatives mean NumCPU.
+func TestResolveWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64} {
+		if got := ResolveWorkers(n); got != n {
+			t.Fatalf("ResolveWorkers(%d) = %d, want the explicit count", n, got)
+		}
 	}
-	if Workers(0) != runtime.NumCPU() || Workers(-1) != runtime.NumCPU() {
-		t.Fatal("zero/negative must select NumCPU")
+	for _, n := range []int{0, -1, -100} {
+		if got := ResolveWorkers(n); got != runtime.NumCPU() {
+			t.Fatalf("ResolveWorkers(%d) = %d, want NumCPU = %d", n, got, runtime.NumCPU())
+		}
 	}
 }
 

@@ -93,7 +93,16 @@ func RunReplicas(ctx context.Context, cfg Config, n, workers int) (ReplicaSet, e
 	if err != nil {
 		return ReplicaSet{}, err
 	}
+	return Merge(cfg, seeds, results), nil
+}
 
+// Merge folds already-computed replica results (results[i] run under
+// seeds[i]) into a ReplicaSet with the across-replica statistics RunReplicas
+// reports. It is the assembly half of RunReplicas, split out so callers that
+// schedule the replicas themselves (the unified query planner streams them
+// one by one) produce a ReplicaSet bit-identical to RunReplicas.
+func Merge(cfg Config, seeds []int64, results []Result) ReplicaSet {
+	n := len(results)
 	rs := ReplicaSet{Config: cfg, Replicas: n, Seeds: seeds, Results: results}
 	obs := func(f func(Result) float64) ReplicaStat {
 		xs := make([]float64, n)
@@ -114,5 +123,5 @@ func RunReplicas(ctx context.Context, cfg Config, n, workers int) (ReplicaSet, e
 	rs.MeanDelayMS = obs(func(r Result) float64 {
 		return float64(r.MeanDelay) / float64(time.Millisecond)
 	})
-	return rs, nil
+	return rs
 }

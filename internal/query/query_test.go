@@ -1,0 +1,317 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"dense802154/internal/core"
+	"dense802154/internal/netsim"
+)
+
+// quickParams is a ParamsWire with a short Monte-Carlo run so tests finish
+// fast.
+func quickParams() *ParamsWire {
+	seed := int64(3)
+	return &ParamsWire{Contention: &ContentionWire{Superframes: 8, Seed: &seed}}
+}
+
+func TestAxisExplicitValues(t *testing.T) {
+	a := &Axis{Values: []Float{55, 60.5, 95}}
+	got, aerr := a.Grid("losses", nil)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if !reflect.DeepEqual(got, []float64{55, 60.5, 95}) {
+		t.Fatalf("grid = %v", got)
+	}
+}
+
+func TestAxisRangePointsMatchesLossGrid(t *testing.T) {
+	from, to := Float(55), Float(95)
+	points := 81
+	a := &Axis{From: &from, To: &to, Points: &points}
+	got, aerr := a.Grid("losses", nil)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	want := DefaultLossGrid()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("range axis does not reproduce the case-study grid: %d vs %d points", len(got), len(want))
+	}
+}
+
+func TestAxisRangeStep(t *testing.T) {
+	from, to, step := Float(1), Float(2), Float(0.25)
+	a := &Axis{From: &from, To: &to, Step: &step}
+	got, aerr := a.Grid("x", nil)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if !reflect.DeepEqual(got, []float64{1, 1.25, 1.5, 1.75, 2}) {
+		t.Fatalf("grid = %v", got)
+	}
+}
+
+func TestAxisRejectsNonFinite(t *testing.T) {
+	inf := Float(1)
+	for _, a := range []*Axis{
+		{Values: []Float{55, Float(nan())}},
+		{From: &inf, To: floatPtr(infVal())},
+		{From: floatPtr(-infVal()), To: &inf},
+	} {
+		if _, aerr := a.Grid("losses", nil); aerr == nil {
+			t.Fatalf("axis %+v accepted non-finite input", a)
+		}
+	}
+}
+
+func TestAxisDefault(t *testing.T) {
+	var a *Axis
+	got, aerr := a.Grid("losses", DefaultLossGrid)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if !reflect.DeepEqual(got, DefaultLossGrid()) {
+		t.Fatal("nil axis must select the default grid")
+	}
+}
+
+func TestIntAxisRejectsOverflowingRanges(t *testing.T) {
+	// Hostile endpoints near MaxInt used to wrap the count arithmetic
+	// negative (panicking the slice allocation) or wrap the walk into an
+	// endless loop; the magnitude bound must reject them cleanly.
+	huge := int(^uint(0) >> 1) // MaxInt
+	for _, a := range []*IntAxis{
+		{From: intPtr(0), To: intPtr(huge)},
+		{From: intPtr(0), To: intPtr(huge), Step: intPtr(1)},
+		{From: intPtr(huge - 1), To: intPtr(huge), Step: intPtr(5)},
+		{From: intPtr(-huge), To: intPtr(huge)},
+		{From: intPtr(0), To: intPtr(10), Step: intPtr(huge)},
+	} {
+		if _, aerr := a.Grid("payloads", nil); aerr == nil {
+			t.Fatalf("axis %+v accepted an overflowing range", a)
+		}
+	}
+}
+
+func TestIntAxisForms(t *testing.T) {
+	from, to, step := 5, 11, 3
+	a := &IntAxis{From: &from, To: &to, Step: &step}
+	got, aerr := a.Grid("payloads", nil)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if !reflect.DeepEqual(got, []int{5, 8, 11}) {
+		t.Fatalf("grid = %v", got)
+	}
+	if _, aerr := (&IntAxis{Values: []int{3}, From: &from}).Grid("payloads", nil); aerr == nil {
+		t.Fatal("mixed forms must be rejected")
+	}
+}
+
+func TestCompileRejectsUnknownKind(t *testing.T) {
+	_, err := Compile(Query{Kind: "bogus"})
+	var aerr *Error
+	if !errors.As(err, &aerr) || aerr.Field != "kind" {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Compile(Query{}); err == nil {
+		t.Fatal("missing kind must be rejected")
+	}
+}
+
+func TestCompileRejectsWrongVersion(t *testing.T) {
+	_, err := Compile(Query{Version: 1, Kind: KindEvaluate})
+	var aerr *Error
+	if !errors.As(err, &aerr) || aerr.Field != "version" {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Compile(Query{Version: Version, Kind: KindSimulate}); err != nil {
+		t.Fatalf("explicit current version rejected: %v", err)
+	}
+}
+
+func TestCompileRejectsForeignFields(t *testing.T) {
+	cases := []Query{
+		{Kind: KindEvaluate, Replicas: 3},
+		{Kind: KindEvaluate, Sim: &SimConfigWire{}},
+		{Kind: KindSimulate, Params: &ParamsWire{}},
+		{Kind: KindScenario, Scenario: "baseline-case-study", Quick: true},
+		{Kind: KindBatch, Batch: []ParamsWire{{}}, Losses: &Axis{}},
+		{Kind: KindExperiment, Experiment: "fig8", Diff: true},
+	}
+	for _, q := range cases {
+		if _, err := Compile(q); err == nil {
+			t.Fatalf("kind %s accepted a foreign field: %+v", q.Kind, q)
+		}
+	}
+}
+
+func TestCompileValidatesEagerly(t *testing.T) {
+	for _, q := range []Query{
+		{Kind: KindBatch}, // empty batch
+		{Kind: KindEvaluate, Params: &ParamsWire{Radio: "bogus"}},        // unknown radio
+		{Kind: KindScenario, Scenario: "no-such-scenario"},               // unknown scenario
+		{Kind: KindExperiment, Experiment: "no-such-experiment"},         // unknown experiment
+		{Kind: KindReplicas, Replicas: MaxReplicas + 1},                  // replica bound
+		{Kind: KindSimulate, Sim: &SimConfigWire{Nodes: intPtr(100001)}}, // sim bound
+	} {
+		if _, err := Compile(q); err == nil {
+			t.Fatalf("query %+v compiled", q)
+		}
+	}
+}
+
+func TestEvaluateMatchesCore(t *testing.T) {
+	// The spec path must agree with a hand-materialized core call — the
+	// two go through different plumbing (plan task vs direct Evaluate).
+	p, aerr := quickParams().Params(1, 1)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	want, err := core.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(context.Background(), Query{Kind: KindEvaluate, Params: quickParams(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rs.Results[0].Value().(core.Metrics)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("query evaluate deviates from core.Evaluate:\n got %+v\nwant %+v", got, want)
+	}
+	if rs.Results[0].Metrics == nil {
+		t.Fatal("wire payload missing")
+	}
+	if *rs.Results[0].Metrics != WireMetrics(want) {
+		t.Fatal("wire payload deviates from WireMetrics of the core result")
+	}
+}
+
+func TestReplicasMatchesRunReplicas(t *testing.T) {
+	sim := &SimConfigWire{Nodes: intPtr(10), Superframes: intPtr(4)}
+	cfg, aerr := sim.Config()
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	want, err := netsim.RunReplicas(context.Background(), cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(context.Background(), Query{Kind: KindReplicas, Sim: sim, Replicas: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rs.Value().(netsim.ReplicaSet)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("replicas query deviates from netsim.RunReplicas")
+	}
+	if rs.Summary == nil || rs.Summary.Replicas != 3 {
+		t.Fatalf("summary = %+v", rs.Summary)
+	}
+	if len(rs.Results) != 3 {
+		t.Fatalf("results = %d", len(rs.Results))
+	}
+}
+
+func TestStreamYieldsPlanOrder(t *testing.T) {
+	batch := make([]ParamsWire, 6)
+	for i := range batch {
+		pb := 20 + 10*i
+		pw := *quickParams()
+		pw.PayloadBytes = &pb
+		batch[i] = pw
+	}
+	var streamed []int
+	rs, err := RunStream(context.Background(), Query{Kind: KindBatch, Batch: batch, Workers: 4},
+		func(tr TaskResult) error {
+			streamed = append(streamed, tr.Index)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d of %d", len(streamed), len(batch))
+	}
+	for i, idx := range streamed {
+		if idx != i {
+			t.Fatalf("stream order %v not plan order", streamed)
+		}
+	}
+	// The streamed values and the assembled set are the same objects.
+	for i := range rs.Results {
+		if rs.Results[i].Index != i || rs.Results[i].Metrics == nil {
+			t.Fatalf("result %d malformed", i)
+		}
+	}
+}
+
+func TestStreamYieldErrorCancels(t *testing.T) {
+	batch := make([]ParamsWire, 8)
+	for i := range batch {
+		pw := *quickParams()
+		batch[i] = pw
+	}
+	boom := errors.New("boom")
+	_, err := RunStream(context.Background(), Query{Kind: KindBatch, Batch: batch, Workers: 2},
+		func(tr TaskResult) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the yield error", err)
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Query{Kind: KindEvaluate, Params: quickParams()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkerCountIndependence(t *testing.T) {
+	q := Query{Kind: KindReplicas, Sim: &SimConfigWire{Nodes: intPtr(8), Superframes: intPtr(3)}, Replicas: 4}
+	var bodies [][]byte
+	for _, w := range []int{1, 3} {
+		q.Workers = w
+		rs, err := Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rs.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+	if string(bodies[0]) != string(bodies[1]) {
+		t.Fatal("ResultSet bytes depend on the worker count")
+	}
+}
+
+func TestEncodeByteStable(t *testing.T) {
+	q := Query{Kind: KindEvaluate, Params: quickParams(), Workers: 1}
+	rs1, err := Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := rs1.Encode()
+	b2, _ := rs2.Encode()
+	if string(b1) != string(b2) {
+		t.Fatal("Encode is not byte-stable across runs")
+	}
+}
+
+func intPtr(v int) *int         { return &v }
+func floatPtr(v float64) *Float { f := Float(v); return &f }
+func nan() float64              { return math.NaN() }
+func infVal() float64           { return math.Inf(1) }

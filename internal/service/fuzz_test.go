@@ -3,8 +3,11 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"testing"
+
+	"dense802154/internal/query"
 )
 
 // The service decodes attacker-controlled JSON. These fuzz targets pin the
@@ -143,6 +146,91 @@ func FuzzSimConfigWireDecode(f *testing.F) {
 		}
 		if sw.TransmitProb != nil && !(cfg.TransmitProb >= 0 && cfg.TransmitProb <= 1) {
 			t.Fatalf("accepted body %q produced transmit prob %v", data, cfg.TransmitProb)
+		}
+	})
+}
+
+// FuzzQueryDecode: the v2 unified-query decoder must never panic, must
+// reject NaN/Inf grid inputs and unknown kinds with structured errors, and
+// any body it compiles must have materialized every spec into validated
+// model inputs (Compile runs the full builder chain).
+func FuzzQueryDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"kind":"evaluate"}`,
+		`{"kind":"evaluate","params":{"payload_bytes":60,"load":0.25}}`,
+		`{"version":2,"kind":"batch","batch":[{},{"payload_bytes":20}]}`,
+		`{"version":1,"kind":"evaluate"}`,
+		`{"kind":"bogus"}`,
+		`{"kind":"casestudy","config":{"nodes":1600,"loss_grid_points":11}}`,
+		`{"kind":"pathloss-sweep","losses":{"from":55,"to":95,"points":81}}`,
+		`{"kind":"pathloss-sweep","losses":{"values":["NaN"]}}`,
+		`{"kind":"pathloss-sweep","losses":{"from":"-Inf","to":"+Inf","points":5}}`,
+		`{"kind":"thresholds","losses":{"from":60,"to":80,"step":0.5}}`,
+		`{"kind":"payload-sweep","payloads":{"from":5,"to":123,"step":2}}`,
+		`{"kind":"payload-sweep","payloads":{"values":[20,60,120]}}`,
+		`{"kind":"payload-sweep","payloads":{"from":0,"to":9223372036854775807}}`,
+		`{"kind":"payload-sweep","payloads":{"from":9223372036854775806,"to":9223372036854775807,"step":5}}`,
+		`{"kind":"simulate","sim":{"nodes":100,"superframes":20,"seed":1}}`,
+		`{"kind":"simulate","sim":{"min_loss_db":"NaN"}}`,
+		`{"kind":"replicas","sim":{"nodes":10},"replicas":4096}`,
+		`{"kind":"replicas","replicas":4097}`,
+		`{"kind":"scenario","scenario":"baseline-case-study","diff":true}`,
+		`{"kind":"scenario","scenario":"nope"}`,
+		`{"kind":"experiment","experiment":"fig8","quick":true,"seed":7}`,
+		`{"kind":"evaluate","replicas":1}`,
+		`{"kind":"evaluate","params":{"load":"+Inf"}}`,
+		`{"kind":"batch","batch":[]}`,
+		`{"unknown":1}`,
+		`{"kind":"evaluate"} trailing`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q query.Query
+		if err := strictDecode(data, &q); err != nil {
+			return // rejection is fine; panics are not
+		}
+		plan, err := query.Compile(q)
+		if err != nil {
+			var aerr *Error
+			if errors.As(err, &aerr) && aerr.Message == "" {
+				t.Fatalf("empty validation error for %q", data)
+			}
+			return
+		}
+		// A compiled plan must have a known kind and at least one task,
+		// and unknown/empty kinds must never compile.
+		if plan.NumTasks() < 1 {
+			t.Fatalf("accepted body %q produced %d tasks", data, plan.NumTasks())
+		}
+		known := false
+		for _, k := range query.Kinds() {
+			if q.Kind == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.Fatalf("accepted body %q with unknown kind %q", data, q.Kind)
+		}
+		if q.Version != 0 && q.Version != query.Version {
+			t.Fatalf("accepted body %q with version %d", data, q.Version)
+		}
+		// Grid axes must have expanded to finite points within bounds.
+		if q.Losses != nil {
+			grid, aerr := q.Losses.Grid("losses", query.DefaultLossGrid)
+			if aerr != nil {
+				t.Fatalf("compiled body %q but its axis fails to expand: %v", data, aerr)
+			}
+			if len(grid) > query.MaxGridPoints {
+				t.Fatalf("accepted body %q with %d grid points", data, len(grid))
+			}
+			for _, x := range grid {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("accepted body %q with non-finite grid point %v", data, x)
+				}
+			}
 		}
 	})
 }

@@ -2,7 +2,8 @@ package service
 
 import (
 	"context"
-	"runtime"
+
+	"dense802154/internal/engine"
 )
 
 // limiter is the server-wide worker-token pool: every request that fans out
@@ -16,11 +17,10 @@ type limiter struct {
 	tokens   chan struct{}
 }
 
-// newLimiter builds a pool of capacity tokens (≤ 0 selects NumCPU).
+// newLimiter builds a pool of capacity tokens (≤ 0 selects NumCPU, via the
+// shared engine.ResolveWorkers rule).
 func newLimiter(capacity int) *limiter {
-	if capacity < 1 {
-		capacity = runtime.NumCPU()
-	}
+	capacity = engine.ResolveWorkers(capacity)
 	l := &limiter{capacity: capacity, tokens: make(chan struct{}, capacity)}
 	for i := 0; i < capacity; i++ {
 		l.tokens <- struct{}{}

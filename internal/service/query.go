@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"dense802154/internal/query"
+)
+
+// ---- POST /v2/query, POST /v2/query/stream ----
+//
+// The versioned unified-query surface: one declarative request type
+// (internal/query.Query) covers everything the per-endpoint v1 routes do.
+// The non-streaming form answers with the byte-stable ResultSet encoding;
+// the streaming form emits NDJSON — one TaskResult per line in plan order,
+// then one summary line — with every line flushed as it completes.
+// Backpressure is the same worker-token limiter the v1 routes share: a
+// query acquires tokens before computing, so any number of v2 clients
+// shares the server budget.
+
+// decodeQuery parses and compiles the request body; errors are rendered as
+// structured 400s.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (query.Query, *query.Plan, bool) {
+	var q query.Query
+	if !decodeJSON(w, r, &q) {
+		return query.Query{}, nil, false
+	}
+	plan, err := query.Compile(q)
+	if err != nil {
+		var aerr *Error
+		if errors.As(err, &aerr) {
+			writeValidationError(w, aerr)
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error(), "")
+		}
+		return query.Query{}, nil, false
+	}
+	return q, plan, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, plan, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, q.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+
+	rs, err := plan.Execute(r.Context(), got, nil)
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
+	body, err := rs.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), "")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// queryStreamLine is the final NDJSON record of a /v2/query/stream
+// response: done=true, the task count, and the replicas summary when the
+// plan has one. The preceding lines are raw query.TaskResult encodings —
+// exactly the elements of the non-streaming ResultSet.Results, byte for
+// byte.
+type queryStreamLine struct {
+	Done    bool                      `json:"done"`
+	Count   int                       `json:"count"`
+	Summary *query.ReplicaSummaryWire `json:"summary,omitempty"`
+}
+
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	q, plan, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, q.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	count := 0
+	rs, err := plan.Execute(r.Context(), got, func(tr query.TaskResult) error {
+		if err := enc.Encode(tr); err != nil {
+			return err // client went away; Execute cancels the rest
+		}
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// Headers are gone; the truncated stream (no done line) is the
+		// client-visible error signal.
+		return
+	}
+	_ = enc.Encode(queryStreamLine{Done: true, Count: count, Summary: rs.Summary})
+}
+
+// writeQueryError maps an execution failure: context failures are 503s,
+// anything else surfaces as a 400 (the model rejected the inputs).
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		writeCtxError(w, r.Context().Err())
+		return
+	}
+	var aerr *Error
+	if errors.As(err, &aerr) {
+		writeValidationError(w, aerr)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error(), "")
+}

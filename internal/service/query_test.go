@@ -1,0 +1,364 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dense802154/internal/query"
+)
+
+// tree decodes JSON into the generic form for structural comparison.
+func tree(t *testing.T, b []byte) any {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("bad JSON %q: %v", b, err)
+	}
+	return v
+}
+
+// dig walks a decoded JSON tree by object keys and array indices.
+func dig(t *testing.T, v any, path ...any) any {
+	t.Helper()
+	for _, p := range path {
+		switch k := p.(type) {
+		case string:
+			m, ok := v.(map[string]any)
+			if !ok {
+				t.Fatalf("dig %v: not an object at %v", path, p)
+			}
+			v = m[k]
+		case int:
+			a, ok := v.([]any)
+			if !ok || k >= len(a) {
+				t.Fatalf("dig %v: not an array at %v", path, p)
+			}
+			v = a[k]
+		}
+	}
+	return v
+}
+
+// TestQueryV2MatchesV1 proves the redesign is observationally equivalent:
+// for every query kind, the v2 /query response carries the same values the
+// corresponding frozen v1 endpoint returns for the same inputs.
+func TestQueryV2MatchesV1(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 2}))
+	defer ts.Close()
+
+	const p = `{"contention":{"superframes":8,"seed":3}}`
+	const pQuick = `{"contention":{"superframes":8,"seed":3},"payload_bytes":60}`
+	cases := []struct {
+		kind    string
+		v1Path  string
+		v1Body  string
+		v2Body  string
+		v1Field []any // path to the comparable subtree in the v1 response
+		v2Field []any // path in the v2 response
+	}{
+		{
+			kind: "evaluate", v1Path: "/v1/evaluate",
+			v1Body:  `{"params":` + p + `}`,
+			v2Body:  `{"kind":"evaluate","params":` + p + `}`,
+			v1Field: []any{"metrics"},
+			v2Field: []any{"results", 0, "metrics"},
+		},
+		{
+			kind: "batch", v1Path: "/v1/batch",
+			v1Body:  `{"params":[` + p + `,` + pQuick + `]}`,
+			v2Body:  `{"kind":"batch","batch":[` + p + `,` + pQuick + `]}`,
+			v1Field: []any{"metrics", 1},
+			v2Field: []any{"results", 1, "metrics"},
+		},
+		{
+			kind: "casestudy", v1Path: "/v1/casestudy",
+			v1Body:  `{"params":` + p + `,"config":{"loss_grid_points":11}}`,
+			v2Body:  `{"kind":"casestudy","params":` + p + `,"config":{"loss_grid_points":11}}`,
+			v1Field: []any{"result"},
+			v2Field: []any{"results", 0, "casestudy"},
+		},
+		{
+			kind: "pathloss-sweep", v1Path: "/v1/sweep/pathloss",
+			v1Body:  `{"params":` + p + `,"losses":[60,75,90]}`,
+			v2Body:  `{"kind":"pathloss-sweep","params":` + p + `,"losses":{"values":[60,75,90]}}`,
+			v1Field: []any{"curves"},
+			v2Field: []any{"results", 0, "curves"},
+		},
+		{
+			kind: "thresholds", v1Path: "/v1/sweep/thresholds",
+			v1Body:  `{"params":` + p + `,"losses":[60,62,64,66,68,70,72,74,76,78,80]}`,
+			v2Body:  `{"kind":"thresholds","params":` + p + `,"losses":{"from":60,"to":80,"points":11}}`,
+			v1Field: []any{"thresholds"},
+			v2Field: []any{"results", 0, "thresholds"},
+		},
+		{
+			kind: "payload-sweep", v1Path: "/v1/sweep/payload",
+			v1Body:  `{"params":` + p + `,"sizes":[20,60,120]}`,
+			v2Body:  `{"kind":"payload-sweep","params":` + p + `,"payloads":{"values":[20,60,120]}}`,
+			v1Field: []any{},
+			v2Field: []any{"results", 0, "payload"},
+		},
+		{
+			kind: "simulate", v1Path: "/v1/simulate",
+			v1Body:  `{"config":{"nodes":10,"superframes":4,"seed":7}}`,
+			v2Body:  `{"kind":"simulate","sim":{"nodes":10,"superframes":4,"seed":7}}`,
+			v1Field: []any{"results", 0},
+			v2Field: []any{"results", 0, "sim"},
+		},
+		{
+			kind: "replicas", v1Path: "/v1/simulate",
+			v1Body:  `{"config":{"nodes":10,"superframes":4},"replicas":3}`,
+			v2Body:  `{"kind":"replicas","sim":{"nodes":10,"superframes":4},"replicas":3}`,
+			v1Field: []any{"results", 2},
+			v2Field: []any{"results", 2, "sim"},
+		},
+		{
+			kind: "scenario", v1Path: "/v1/scenarios/sparse-idle",
+			v1Body:  `{"diff":true}`,
+			v2Body:  `{"kind":"scenario","scenario":"sparse-idle","diff":true}`,
+			v1Field: []any{},
+			v2Field: []any{"results", 0, "scenario"},
+		},
+		{
+			kind: "experiment", v1Path: "/v1/experiments/fig8",
+			v1Body:  `{"quick":true}`,
+			v2Body:  `{"kind":"experiment","experiment":"fig8","quick":true}`,
+			v1Field: []any{"tables"},
+			v2Field: []any{"results", 0, "experiment", "tables"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			s1, b1 := postJSON(t, ts.URL+tc.v1Path, tc.v1Body)
+			if s1 != http.StatusOK {
+				t.Fatalf("v1 = %d: %s", s1, b1)
+			}
+			s2, b2 := postJSON(t, ts.URL+"/v2/query", tc.v2Body)
+			if s2 != http.StatusOK {
+				t.Fatalf("v2 = %d: %s", s2, b2)
+			}
+			v2 := tree(t, b2)
+			if got := dig(t, v2, "kind"); got != tc.kind {
+				t.Fatalf("v2 kind = %v", got)
+			}
+			want := dig(t, tree(t, b1), tc.v1Field...)
+			got := dig(t, v2, tc.v2Field...)
+			if tc.kind == "payload-sweep" {
+				// v1 flattens the two arrays into the response root.
+				want = map[string]any{
+					"sizes_bytes":      dig(t, want, "sizes_bytes"),
+					"energy_j_per_bit": dig(t, want, "energy_j_per_bit"),
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("v2 deviates from v1:\n v1: %v\n v2: %v", want, got)
+			}
+			// The replicas summary must carry the v1 across-replica stats.
+			if tc.kind == "replicas" {
+				for _, stat := range []string{"avg_power_uw", "delivery_ratio", "pr_fail", "pr_cf", "pr_col", "ncca", "tcont_ms", "mean_delay_ms"} {
+					w := dig(t, tree(t, b1), stat)
+					g := dig(t, v2, "summary", stat)
+					if !reflect.DeepEqual(g, w) {
+						t.Fatalf("summary.%s deviates: v1 %v, v2 %v", stat, w, g)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryHTTPMatchesInProcess pins the transport contract: the /v2/query
+// body is byte-identical to an in-process Run's Encode.
+func TestQueryHTTPMatchesInProcess(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 2}))
+	defer ts.Close()
+
+	body := `{"kind":"replicas","sim":{"nodes":10,"superframes":4},"replicas":3}`
+	status, httpBytes := postJSON(t, ts.URL+"/v2/query", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, httpBytes)
+	}
+
+	var q query.Query
+	if err := json.Unmarshal([]byte(body), &q); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := query.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := rs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(httpBytes, inproc) {
+		t.Fatalf("HTTP body deviates from in-process Encode:\n http: %s\n proc: %s", httpBytes, inproc)
+	}
+}
+
+// TestQueryStreamBitIdentical proves the NDJSON stream carries exactly the
+// non-streaming body: line i equals the raw results[i] subtree byte for
+// byte, and the final line carries the same summary.
+func TestQueryStreamBitIdentical(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 2}))
+	defer ts.Close()
+
+	body := `{"kind":"replicas","sim":{"nodes":10,"superframes":4},"replicas":3}`
+	status, plain := postJSON(t, ts.URL+"/v2/query", body)
+	if status != http.StatusOK {
+		t.Fatalf("plain status = %d: %s", status, plain)
+	}
+	var rsWire struct {
+		Results []json.RawMessage `json:"results"`
+		Summary json.RawMessage   `json:"summary"`
+	}
+	if err := json.Unmarshal(plain, &rsWire); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v2/query/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<22), 1<<22)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(rsWire.Results)+1 {
+		t.Fatalf("stream has %d lines for %d results", len(lines), len(rsWire.Results))
+	}
+	for i, raw := range rsWire.Results {
+		if !bytes.Equal(lines[i], []byte(raw)) {
+			t.Fatalf("stream line %d deviates from results[%d]:\n line: %s\n body: %s", i, i, lines[i], raw)
+		}
+	}
+	var done struct {
+		Done    bool            `json:"done"`
+		Count   int             `json:"count"`
+		Summary json.RawMessage `json:"summary"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &done); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done || done.Count != len(rsWire.Results) {
+		t.Fatalf("done line = %s", lines[len(lines)-1])
+	}
+	if !bytes.Equal(done.Summary, rsWire.Summary) {
+		t.Fatalf("summary deviates:\n stream: %s\n body:   %s", done.Summary, rsWire.Summary)
+	}
+}
+
+// TestQueryStreamClientDisconnect: a client that walks away mid-stream
+// cancels the remaining plan tasks — the server's worker tokens drain
+// instead of computing the rest of a large batch for nobody.
+func TestQueryStreamClientDisconnect(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// 48 distinct heavy-ish Monte-Carlo points: far more work than the
+	// drain deadline allows, so the test only passes if cancellation is
+	// observed.
+	var sb strings.Builder
+	sb.WriteString(`{"kind":"batch","batch":[`)
+	for i := 0; i < 48; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		// Distinct seeds defeat the contention cache, so every element is
+		// a fresh Monte-Carlo run.
+		sb.WriteString(`{"contention":{"superframes":2000,"seed":` + strconv.Itoa(1000+i) + `}}`)
+	}
+	sb.WriteString(`]}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v2/query/stream", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one result line, then vanish.
+	br := bufio.NewReaderSize(resp.Body, 1<<20)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatalf("first stream line: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for srv.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("request still in flight %v after disconnect", 15*time.Second)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.pool.inUse() != 0 {
+		t.Fatalf("%d worker tokens still held after disconnect", srv.pool.inUse())
+	}
+}
+
+// TestQueryValidation400s pins the structured-error contract of the v2
+// surface.
+func TestQueryValidation400s(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 1}))
+	defer ts.Close()
+
+	cases := []struct {
+		body  string
+		field string
+	}{
+		{`{"kind":"bogus"}`, "kind"},
+		{`{}`, "kind"},
+		{`{"version":3,"kind":"evaluate"}`, "version"},
+		{`{"kind":"evaluate","replicas":5}`, "replicas"},
+		{`{"kind":"batch","batch":[]}`, "batch"},
+		{`{"kind":"evaluate","params":{"radio":"bogus"}}`, "radio"},
+		{`{"kind":"pathloss-sweep","losses":{"values":["NaN"]}}`, "losses.values"},
+		{`{"kind":"pathloss-sweep","losses":{"from":"-Inf","to":95,"points":5}}`, "losses"},
+		{`{"kind":"scenario","scenario":"nope"}`, "scenario"},
+		{`{"kind":"experiment"}`, "experiment"},
+		{`{"kind":"replicas","replicas":100000}`, "replicas"},
+	}
+	for _, tc := range cases {
+		status, body := postJSON(t, ts.URL+"/v2/query", tc.body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s → %d (%s), want 400", tc.body, status, body)
+		}
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("unstructured error for %s: %s", tc.body, body)
+		}
+		if e.Error.Field != tc.field {
+			t.Fatalf("%s → field %q, want %q", tc.body, e.Error.Field, tc.field)
+		}
+		if e.Error.Message == "" {
+			t.Fatalf("%s → empty message", tc.body)
+		}
+	}
+}

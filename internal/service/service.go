@@ -21,6 +21,13 @@
 //	GET  /v1/scenarios               the committed cross-model scenario catalog
 //	GET  /v1/scenarios/{name}        the committed golden result for one scenario
 //	POST /v1/scenarios/{name}        run one scenario fresh (optionally diffed vs its golden)
+//	POST /v2/query                   one declarative Query → tagged ResultSet
+//	POST /v2/query/stream            same Query, NDJSON TaskResults in plan order
+//
+// The v2 routes speak the unified query type of internal/query: one
+// versioned request covers everything the v1 routes do (see the v1 → v2
+// wire mapping in codec.go), and new parameter axes become Query fields
+// instead of new endpoints. The v1 routes are maintained but frozen.
 //
 // # Concurrency model
 //
@@ -113,6 +120,8 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
 	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioGolden)
 	s.mux.HandleFunc("POST /v1/scenarios/{name}", s.handleScenarioRun)
+	s.mux.HandleFunc("POST /v2/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v2/query/stream", s.handleQueryStream)
 	return s
 }
 
