@@ -11,6 +11,7 @@
 package dense802154_test
 
 import (
+	"context"
 	"testing"
 
 	"dense802154"
@@ -236,11 +237,37 @@ func BenchmarkContentionMC(b *testing.B) {
 }
 
 // BenchmarkNetsimSuperframe measures one discrete-event superframe of the
-// 100-node channel.
+// 100-node channel on the pooled run path (the arena recycles across
+// iterations exactly as it does across replica sweeps).
 func BenchmarkNetsimSuperframe(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		netsim.Run(netsim.Config{Nodes: 100, Superframes: 1, Seed: int64(i)})
+	}
+}
+
+// BenchmarkNetsimDense200 measures the 200-node dense operating regime of
+// the paper's Fig. 6-8 surfaces over four superframes — the scenario whose
+// per-CCA medium scans motivated the end-time-ordered active-set index.
+func BenchmarkNetsimDense200(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		netsim.Run(netsim.Config{Nodes: 200, Superframes: 4, Seed: int64(i)})
+	}
+}
+
+// BenchmarkRunReplicas measures a whole replica sweep at the dense 200-node
+// configuration — the workload run-state recycling targets: every replica
+// after a worker's first reuses that worker's arena. Workers is pinned to 2
+// so allocs/op stays comparable across machines with different core counts.
+func BenchmarkRunReplicas(b *testing.B) {
+	b.ReportAllocs()
+	cfg := netsim.Config{Nodes: 200, Superframes: 4}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := netsim.RunReplicas(context.Background(), cfg, 8, 2); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -11,17 +11,20 @@
 // Usage:
 //
 //	wsn-bench                          # full suite to stdout
-//	wsn-bench -out BENCH_PR3.json      # refresh the tracked baseline
+//	wsn-bench -out BENCH_PR6.json      # refresh the tracked baseline
 //	wsn-bench -benchtime 100ms -quick  # CI smoke pass
-//	wsn-bench -diff BENCH_PR3.json     # compare this run to the baseline
+//	wsn-bench -diff BENCH_PR6.json     # compare this run to the baseline
 //
-// -diff is warn-only by design: it prints per-benchmark ratios and flags
-// ns/op slowdowns beyond -warn (default 1.5x) and any allocs/op increase,
-// but always exits 0 so noisy CI hosts cannot block merges. Numbers are
-// hardware-dependent; allocs/op is the stable cross-machine signal.
+// -diff is warn-only for wall-clock by design: it prints per-benchmark
+// ratios and flags ns/op slowdowns beyond -warn (default 1.5x), but ns/op
+// warnings never change the exit code, so noisy CI hosts cannot block
+// merges on hardware-dependent numbers. Allocations are the stable
+// cross-machine signal: with -failallocs, an allocs/op increase beyond the
+// per-benchmark noise slack exits non-zero (the CI bench-smoke gate).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -148,6 +151,28 @@ func suite(quick bool) []namedBench {
 				netsim.Run(netsim.Config{Nodes: 100, Superframes: 1, Seed: int64(i)})
 			}
 		}},
+		{"NetsimDense200", func(b *testing.B) {
+			// The 200-node dense operating regime of the Fig. 6-8
+			// surfaces: the scenario the indexed medium targets.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				netsim.Run(netsim.Config{Nodes: 200, Superframes: 4, Seed: int64(i)})
+			}
+		}},
+		{"NetsimReplicas8", func(b *testing.B) {
+			// A whole dense replica sweep: every replica after a worker's
+			// first reuses that worker's pooled arena, so this is where
+			// run-state recycling shows up. Workers is pinned to 2 to keep
+			// allocs/op machine-independent.
+			b.ReportAllocs()
+			cfg := netsim.Config{Nodes: 200, Superframes: 4}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				if _, err := netsim.RunReplicas(context.Background(), cfg, 8, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"DESScheduleFire", func(b *testing.B) {
 			// Typed-dispatch schedule→fire churn through the value heap.
 			b.ReportAllocs()
@@ -193,8 +218,9 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
 	quick := flag.Bool("quick", false, "shrink Monte-Carlo workloads for a smoke pass")
 	runFilter := flag.String("run", "", "regexp selecting benchmarks by name")
-	diff := flag.String("diff", "", "baseline JSON report to compare against (warn-only)")
+	diff := flag.String("diff", "", "baseline JSON report to compare against")
 	warn := flag.Float64("warn", 1.5, "ns/op slowdown ratio that triggers a warning with -diff")
+	failAllocs := flag.Bool("failallocs", false, "exit non-zero when -diff finds an allocs/op regression (ns/op stays warn-only)")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -253,24 +279,30 @@ func main() {
 	}
 
 	if *diff != "" {
-		compare(*diff, rep, *warn)
+		allocRegressions := compare(*diff, rep, *warn)
+		if *failAllocs && allocRegressions > 0 {
+			fmt.Fprintf(os.Stderr, "wsn-bench: failing: %d allocs/op regression(s) vs %s\n", allocRegressions, *diff)
+			os.Exit(1)
+		}
 	}
 }
 
-// compare prints this run against a baseline report. Warnings never change
-// the exit code: wall-clock numbers are machine-dependent, so the diff
-// informs reviewers rather than gating them; allocs/op increases are the
-// strong signal (they are hardware-independent).
-func compare(path string, cur report, warnRatio float64) {
+// compare prints this run against a baseline report and returns the number
+// of allocs/op regressions beyond the per-benchmark noise slack. ns/op
+// warnings never affect the return value: wall-clock numbers are
+// machine-dependent, so they inform reviewers rather than gate them;
+// allocs/op increases are the strong signal (they are
+// hardware-independent), and the caller may turn them into a failing exit.
+func compare(path string, cur report, warnRatio float64) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wsn-bench: read baseline: %v\n", err)
-		return
+		return 0
 	}
 	var base report
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "wsn-bench: parse baseline: %v\n", err)
-		return
+		return 0
 	}
 	if base.Quick != cur.Quick {
 		fmt.Fprintf(os.Stderr, "wsn-bench: note: baseline quick=%v vs run quick=%v — ns/op ratios reflect workload size, not regressions\n",
@@ -281,7 +313,7 @@ func compare(path string, cur report, warnRatio float64) {
 		byName[b.Name] = b
 	}
 	fmt.Fprintf(os.Stderr, "\n%-24s %14s %14s %8s %18s\n", "benchmark", "base ns/op", "now ns/op", "ratio", "allocs base→now")
-	warned := 0
+	warned, allocRegressions := 0, 0
 	for _, c := range cur.Benchmarks {
 		b, ok := byName[c.Name]
 		if !ok {
@@ -295,21 +327,23 @@ func compare(path string, cur report, warnRatio float64) {
 			warned++
 		}
 		// Parallel benchmarks jitter by a couple of allocations with
-		// goroutine scheduling; warn only beyond that noise floor.
+		// goroutine scheduling; flag only beyond that noise floor.
 		allocSlack := b.AllocsPerOp / 10
 		if allocSlack < 2 {
 			allocSlack = 2
 		}
 		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
-			mark += "  WARN: more allocs"
+			mark += "  REGRESSION: more allocs"
 			warned++
+			allocRegressions++
 		}
 		fmt.Fprintf(os.Stderr, "%-24s %14.0f %14.0f %7.2fx %18s%s\n",
 			c.Name, b.NsPerOp, c.NsPerOp, ratio, fmt.Sprintf("%d→%d", b.AllocsPerOp, c.AllocsPerOp), mark)
 	}
 	if warned > 0 {
-		fmt.Fprintf(os.Stderr, "\nwsn-bench: %d warning(s) vs %s (warn-only; not failing the run)\n", warned, path)
+		fmt.Fprintf(os.Stderr, "\nwsn-bench: %d finding(s) vs %s (%d allocs/op regression(s))\n", warned, path, allocRegressions)
 	} else {
 		fmt.Fprintf(os.Stderr, "\nwsn-bench: no regressions vs %s\n", path)
 	}
+	return allocRegressions
 }

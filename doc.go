@@ -157,6 +157,26 @@
 //   - Every hot random stream is an engine.RNG — a single-word splitmix64
 //     rand.Source64 — embedded by value and seeded via engine.DeriveSeed,
 //     preserving bit-identical results at any worker count.
+//   - Whole netsim runs recycle through a runner arena: netsim.Run draws a
+//     *netsim.Runner from a sync.Pool, and Runner.Run resets node, radio
+//     device, histogram, medium and event-heap storage in place instead of
+//     reallocating it. Every piece of pooled state is rebuilt from the
+//     Config and its derived seeds before use, so a recycled run is bit
+//     identical to a fresh one (pinned by TestRunnerRecycleBitIdentity),
+//     and returned Results copy what they keep so they never alias the
+//     arena. Replica sweeps (netsim.RunReplicas, the scenario harness)
+//     reuse one arena per worker across all replicas.
+//   - The simulated medium keeps active transmissions in two value-typed
+//     binary heaps: an authoritative heap ordered by end time (expiry is a
+//     prefix pop; collision marking on add scans only live transmissions)
+//     and a node-free heap ordered by start time that answers the per-CCA
+//     busy-window probe by comparing the earliest unexpired start against
+//     the window — O(log n) instead of a linear scan. The start heap
+//     retires stale entries lazily, which is sound because prune
+//     thresholds are protocol instants on the 320 µs CSMA slot grid and
+//     advance monotonically; a maxPrune watermark falls back to an exact
+//     scan for any query behind the watermark, so correctness never
+//     depends on that monotonicity.
 //
 // # Tracked benchmarks
 //
@@ -164,14 +184,18 @@
 // hot-path micro-benchmarks) and writes a JSON report of ns/op, B/op and
 // allocs/op per benchmark:
 //
-//	go run ./cmd/wsn-bench -out BENCH_PR3.json   # refresh the baseline
-//	go run ./cmd/wsn-bench -diff BENCH_PR3.json  # compare a fresh run
+//	go run ./cmd/wsn-bench -out BENCH_PR6.json   # refresh the baseline
+//	go run ./cmd/wsn-bench -diff BENCH_PR6.json  # compare a fresh run
 //
 // The committed BENCH_*.json files form the repository's performance
-// trajectory; CI regenerates a -quick report per push and diffs it
-// warn-only against the baseline (allocs/op is the machine-independent
-// signal, and dedicated allocation-budget tests fail hard on boxing
-// regressions).
+// trajectory; CI regenerates a -quick report per push and diffs it against
+// the baseline: ns/op ratios are warn-only (wall-clock is
+// machine-dependent) while allocs/op regressions fail the job
+// (-failallocs), backed by allocation-budget tests
+// (netsim.TestRunAllocBudget and friends) that fail hard on setup or
+// boxing regressions. To profile the hot paths under live load, start the
+// service with a profiling listener (wsn-serve -pprof 127.0.0.1:6060) and
+// capture /debug/pprof/profile while a replica-heavy query runs.
 //
 // See the examples directory for runnable scenarios and EXPERIMENTS.md for
 // the paper-versus-reproduction comparison of every figure.

@@ -105,6 +105,31 @@ func New(seed int64) *Simulator {
 	return &Simulator{rng: engine.NewRNG(seed)}
 }
 
+// Reset rewinds the simulator to the state New(seed) would produce while
+// keeping the heap, slot-table and free-list backing storage, so a recycled
+// simulator schedules its next run without growing allocations. The
+// registered dispatcher is kept. Every outstanding EventID is invalidated
+// (slot generations are bumped, exactly as if the events had fired);
+// holding a handle across Reset and cancelling it later is a harmless
+// no-op, the same guarantee stale handles already have.
+func (s *Simulator) Reset(seed int64) {
+	for i := range s.heap {
+		s.heap[i] = event{} // drop closure and payload references
+	}
+	s.heap = s.heap[:0]
+	s.free = s.free[:0]
+	for i := range s.slots {
+		s.slots[i].gen++
+		s.slots[i].state = slotPending
+		s.free = append(s.free, int32(i))
+	}
+	s.now = 0
+	s.live = 0
+	s.seq = 0
+	s.fired = 0
+	s.rng = engine.NewRNG(seed)
+}
+
 // SetDispatcher registers the typed-event dispatcher. It must be set before
 // the first AtEvent/ScheduleEvent call.
 func (s *Simulator) SetDispatcher(d Dispatcher) { s.dispatch = d }

@@ -434,3 +434,75 @@ func BenchmarkScheduleFireClosure(b *testing.B) {
 	}
 	s.Run()
 }
+
+func TestResetReplaysIdentically(t *testing.T) {
+	// A reset simulator must replay a schedule exactly as a fresh one,
+	// reusing its storage: same firing order, same clock, same RNG stream,
+	// and stale pre-reset handles must stay inert.
+	run := func(s *Simulator) ([]int32, uint64) {
+		var order []int32
+		s.SetDispatcher(func(kind, actor int32, arg time.Duration) {
+			order = append(order, actor)
+			if kind == 1 {
+				s.AtEvent(s.Now()+3*time.Millisecond, 0, actor+100, 0)
+			}
+		})
+		s.AtEvent(2*time.Millisecond, 1, 1, 0)
+		s.AtEvent(1*time.Millisecond, 0, 2, 0)
+		id := s.AtEvent(5*time.Millisecond, 0, 3, 0)
+		s.Cancel(id)
+		s.Run()
+		return order, s.rng.Uint64()
+	}
+
+	fresh := New(42)
+	wantOrder, wantDraw := run(fresh)
+
+	s := New(7)
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) {})
+	stale := s.AtEvent(time.Millisecond, 0, 0, 0)
+	s.AtEvent(2*time.Millisecond, 0, 0, 0)
+	s.Run()
+	s.Reset(42)
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 {
+		t.Fatalf("Reset left state behind: now=%v fired=%d pending=%d", s.Now(), s.Fired(), s.Pending())
+	}
+	gotOrder, gotDraw := run(s)
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("firing counts differ: %v vs %v", gotOrder, wantOrder)
+	}
+	for i := range gotOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("firing order differs after Reset: %v vs %v", gotOrder, wantOrder)
+		}
+	}
+	if gotDraw != wantDraw {
+		t.Fatalf("RNG stream differs after Reset: %d vs %d", gotDraw, wantDraw)
+	}
+	// The pre-reset handle's slot generation was bumped: cancelling it now
+	// must not disturb anything scheduled after the reset.
+	s.Cancel(stale)
+	if s.Cancelled(stale) {
+		t.Fatal("stale pre-Reset handle reported cancelled")
+	}
+}
+
+func TestResetReusesStorage(t *testing.T) {
+	s := New(1)
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) {})
+	churn := func() {
+		for i := 0; i < 256; i++ {
+			s.ScheduleEvent(time.Duration(i)*time.Microsecond, 0, int32(i), 0)
+		}
+		s.Run()
+	}
+	churn()
+	s.Reset(2)
+	allocs := testing.AllocsPerRun(10, func() {
+		churn()
+		s.Reset(2)
+	})
+	if allocs > 0 {
+		t.Fatalf("reset simulator allocated %v per cycle, want 0", allocs)
+	}
+}

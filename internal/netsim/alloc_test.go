@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunAllocBudget is the allocation-regression guard for the pooled run
+// path: once the runner pool is warm, a Run call must stay within a fixed
+// allocation budget (the Result's histogram copy plus the default radio
+// characterization — a handful, versus the ~1.5 per node a cold arena
+// pays). A regression that reintroduces per-run device or slice setup fails
+// this test rather than silently landing.
+func TestRunAllocBudget(t *testing.T) {
+	cfg := Config{Nodes: 50, Superframes: 2, Seed: 7}
+	// Warm the pool and size the reusable arena storage.
+	for i := 0; i < 3; i++ {
+		Run(cfg)
+	}
+	seed := int64(100)
+	allocs := testing.AllocsPerRun(20, func() {
+		c := cfg
+		c.Seed = seed
+		seed++
+		Run(c)
+	})
+	// Steady state measures ~6 allocs; the budget leaves headroom for a GC
+	// emptying the sync.Pool mid-run without tolerating a setup
+	// regression (which costs one-plus per node).
+	const budget = 16
+	if allocs > budget {
+		t.Fatalf("Run allocated %v per run, budget %d", allocs, budget)
+	}
+	t.Logf("Run steady-state allocations per run: %v", allocs)
+}
+
+// TestRunReplicasAllocBudget guards the replica sweep: n pooled runs plus
+// merge bookkeeping must stay near n times the single-run budget, so the
+// recycling win survives in the workload that motivated it.
+func TestRunReplicasAllocBudget(t *testing.T) {
+	cfg := Config{Nodes: 50, Superframes: 2, Seed: 7}
+	const n = 4
+	if _, err := RunReplicas(context.Background(), cfg, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(500)
+	allocs := testing.AllocsPerRun(10, func() {
+		c := cfg
+		c.Seed = seed
+		seed++
+		if _, err := RunReplicas(context.Background(), c, n, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// n pooled runs (~6 each) plus the seed slice, engine.MapSlice result
+	// slice and the eight ReplicaStat observation slices.
+	const budget = 16*n + 24
+	if allocs > budget {
+		t.Fatalf("RunReplicas(n=%d) allocated %v per call, budget %d", n, allocs, budget)
+	}
+	t.Logf("RunReplicas(n=%d) steady-state allocations per call: %v", n, allocs)
+}

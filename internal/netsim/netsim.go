@@ -195,7 +195,7 @@ func (r Result) String() string {
 }
 
 // transmission is an interval of medium occupancy, stored by value in the
-// medium's active list. Collisions are recorded on the owning node's
+// medium's active set. Collisions are recorded on the owning node's
 // txCollided flag (nil node: beacon or acknowledgment frames, which occupy
 // the medium but track no collision state of their own).
 type transmission struct {
@@ -204,37 +204,106 @@ type transmission struct {
 	node  *node // nil for beacon/ack
 }
 
+// txInterval is a node-free copy of a transmission in the medium's
+// start-ordered index — keeping *node out of the index means lazily retired
+// entries never pin a pooled run's nodes across recycles.
+type txInterval struct {
+	start time.Duration
+	end   time.Duration
+}
+
 // medium is the single shared broadcast domain (every node hears every
 // other: the star topology of Fig. 1a with no hidden terminals).
+//
+// The active set is indexed two ways so the per-CCA operations stay
+// sublinear in dense networks:
+//
+//   - byEnd is the authoritative set, a min-heap on end time. prune is a
+//     prefix pop instead of an O(active) filter, because the simulation only
+//     ever prunes at monotonically sufficient thresholds (see below).
+//   - byStart is a min-heap on start time holding node-free copies.
+//     busyWindow reduces to one earliest-start comparison against its root;
+//     entries whose transmission already left byEnd are retired lazily when
+//     they surface.
+//
+// Index invariants (why the lazy byStart root is trustworthy):
+//
+//   - Every prune threshold is a protocol instant on the global CSMA slot
+//     grid — a beacon start, a CCA slot boundary or a transmission start —
+//     and busyWindow(a, b) prunes to a itself before consulting the index.
+//   - Event firing times lag their protocol instants by at most one radio
+//     turnaround, and all turnarounds are shorter than phy.UnitBackoffPeriod,
+//     so successive thresholds can only regress by less than one slot —
+//     which on the shared slot grid means they never regress at all.
+//   - Therefore at query time a ≥ maxPrune: anything popped from byEnd has
+//     end ≤ maxPrune ≤ a, and its byStart copy fails the end > a liveness
+//     test the moment it surfaces. The root comparison then exactly matches
+//     a full scan. Should a model change ever violate the monotone-threshold
+//     invariant, busyWindow detects a < maxPrune and falls back to the
+//     O(active) scan of byEnd, which is correct unconditionally.
 type medium struct {
-	active []transmission
+	byEnd    []transmission // min-heap on end: the active set
+	byStart  []txInterval   // min-heap on start: lazy query index
+	maxPrune time.Duration  // highest prune threshold seen this run
 }
 
-// prune drops transmissions that ended before t.
-func (m *medium) prune(t time.Duration) {
-	keep := m.active[:0]
-	for _, tx := range m.active {
-		if tx.end > t {
-			keep = append(keep, tx)
-		}
+// reset clears the medium for a recycled run, zeroing the vacated storage so
+// no *node pointer from a previous run survives in slice tails.
+func (m *medium) reset() {
+	for i := range m.byEnd {
+		m.byEnd[i] = transmission{}
 	}
-	m.active = keep
+	m.byEnd = m.byEnd[:0]
+	m.byStart = m.byStart[:0]
+	m.maxPrune = 0
 }
 
-// busyWindow reports whether any transmission overlaps [a, b).
+// prune drops transmissions that ended at or before t — a prefix pop off the
+// end-ordered heap. Vacated tail slots are zeroed so the heap never retains
+// stale *node pointers (the pooled-run recycling bug class).
+func (m *medium) prune(t time.Duration) {
+	if t > m.maxPrune {
+		m.maxPrune = t
+	}
+	for len(m.byEnd) > 0 && m.byEnd[0].end <= t {
+		m.popEnd()
+	}
+}
+
+// busyWindow reports whether any transmission overlaps [a, b). It prunes to
+// a first (the same threshold its callers prune at), so the check is a
+// single comparison against the earliest-start root of the index.
 func (m *medium) busyWindow(a, b time.Duration) bool {
-	for _, tx := range m.active {
-		if tx.start < b && tx.end > a {
-			return true
+	m.prune(a)
+	if a < m.maxPrune {
+		// Out-of-order query: the index may have lazily retired entries
+		// still relevant at this earlier instant. Unreachable on the slot
+		// grid (see the invariants above), but the full scan keeps the
+		// medium correct for any scheduling pattern.
+		for i := range m.byEnd {
+			if m.byEnd[i].start < b && m.byEnd[i].end > a {
+				return true
+			}
 		}
+		return false
+	}
+	for len(m.byStart) > 0 {
+		if m.byStart[0].end <= a {
+			m.popStart() // retired: its transmission left byEnd already
+			continue
+		}
+		return m.byStart[0].start < b
 	}
 	return false
 }
 
 // add inserts a transmission, marking collisions among overlaps on the
-// participating nodes.
+// participating nodes. The overlap scan walks the active set (heap order is
+// irrelevant for flag setting); adds are rare next to CCA busy checks, so
+// this is the one remaining O(active) medium operation.
 func (m *medium) add(tx transmission) {
-	for _, other := range m.active {
+	for i := range m.byEnd {
+		other := &m.byEnd[i]
 		if other.start < tx.end && other.end > tx.start {
 			if tx.node != nil {
 				tx.node.txCollided = true
@@ -244,7 +313,93 @@ func (m *medium) add(tx transmission) {
 			}
 		}
 	}
-	m.active = append(m.active, tx)
+	m.pushEnd(tx)
+	m.pushStart(txInterval{start: tx.start, end: tx.end})
+}
+
+// ---- value-typed binary min-heaps of the medium index ----
+
+func (m *medium) pushEnd(tx transmission) {
+	h := append(m.byEnd, tx)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].end <= tx.end {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = tx
+	m.byEnd = h
+}
+
+func (m *medium) popEnd() {
+	h := m.byEnd
+	n := len(h) - 1
+	root := h[n]
+	h[n] = transmission{} // clear the vacated tail (drops *node references)
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h[c+1].end < h[c].end {
+			c++
+		}
+		if h[c].end >= root.end {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	if n > 0 {
+		h[i] = root
+	}
+	m.byEnd = h
+}
+
+func (m *medium) pushStart(iv txInterval) {
+	h := append(m.byStart, iv)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].start <= iv.start {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = iv
+	m.byStart = h
+}
+
+func (m *medium) popStart() {
+	h := m.byStart
+	n := len(h) - 1
+	root := h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h[c+1].start < h[c].start {
+			c++
+		}
+		if h[c].start >= root.start {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	if n > 0 {
+		h[i] = root
+	}
+	m.byStart = h
 }
 
 // packet is one application payload with delivery bookkeeping.
@@ -255,13 +410,14 @@ type packet struct {
 }
 
 // node is one sensor node. Nodes live by value in env.nodes (stable
-// addresses: the slice is sized once), with their CSMA transaction, packet
-// and random stream embedded — a superframe's worth of MAC activity
-// allocates nothing per node.
+// addresses: the slice is sized once per capacity growth), with their radio
+// device, CSMA transaction, packet and random stream embedded — a
+// superframe's worth of MAC activity allocates nothing per node, and a
+// recycled run rebuilds the whole population without allocating at all.
 type node struct {
 	id    int
 	env   *env
-	dev   *radio.Device
+	dev   radio.Device
 	rng   engine.RNG
 	loss  float64
 	level int
@@ -280,18 +436,23 @@ type node struct {
 	contStart time.Duration
 }
 
-// env holds the per-run simulation state.
+// env holds the per-run simulation state. It is the arena a Runner recycles
+// between runs: the simulator's event storage, the medium's index heaps and
+// the node, delay and histogram slices all keep their capacity across
+// reset, so replica sweeps pay the setup allocations once per worker
+// instead of once per replication.
 type env struct {
-	cfg     Config
-	sim     *des.Simulator
-	med     medium
-	nodes   []node
-	tia     time.Duration // idle->RX transition
-	tiaTx   time.Duration // idle->TX transition
-	tsi     time.Duration // shutdown->idle transition
-	tpacket time.Duration
-	tbeacon time.Duration
-	tack    time.Duration // ack frame duration
+	cfg      Config
+	sim      des.Simulator
+	med      medium
+	nodes    []node
+	dispatch des.Dispatcher // cached e.dispatchEvent method value
+	tia      time.Duration  // idle->RX transition
+	tiaTx    time.Duration  // idle->TX transition
+	tsi      time.Duration  // shutdown->idle transition
+	tpacket  time.Duration
+	tbeacon  time.Duration
+	tack     time.Duration // ack frame duration
 
 	offered, delivered, dropped int
 	transmissions, collisions   int
@@ -302,6 +463,41 @@ type env struct {
 	trace                       []TraceEvent
 	contDur, contCCA            stats.Accumulator
 	contCF, contCol             stats.Proportion
+}
+
+// reset rewinds the arena for a fresh run under cfg, reusing every piece of
+// backing storage whose capacity suffices. All behavioral state is restored
+// exactly to what a newly built env would hold — recycled and fresh runs are
+// bit-identical (asserted by TestRunnerRecycleBitIdentity).
+func (e *env) reset(cfg Config) {
+	e.cfg = cfg
+	e.sim.Reset(cfg.Seed)
+	if e.dispatch == nil {
+		e.dispatch = e.dispatchEvent // one closure per env lifetime
+	}
+	e.sim.SetDispatcher(e.dispatch)
+	e.med.reset()
+	if cap(e.nodes) >= cfg.Nodes {
+		e.nodes = e.nodes[:cfg.Nodes]
+	} else {
+		e.nodes = make([]node, cfg.Nodes)
+	}
+	if cap(e.attemptsHist) >= cfg.NMax {
+		e.attemptsHist = e.attemptsHist[:cfg.NMax]
+		for i := range e.attemptsHist {
+			e.attemptsHist[i] = 0
+		}
+	} else {
+		e.attemptsHist = make([]int, cfg.NMax)
+	}
+	e.offered, e.delivered, e.dropped = 0, 0, 0
+	e.transmissions, e.collisions = 0, 0
+	e.accessFailures, e.corrupted = 0, 0
+	e.txnFailures, e.txnTotal = 0, 0
+	e.delays = e.delays[:0]
+	e.trace = e.trace[:0]
+	e.contDur, e.contCCA = stats.Accumulator{}, stats.Accumulator{}
+	e.contCF, e.contCol = stats.Proportion{}, stats.Proportion{}
 }
 
 // advance accrues dwell time in the node's current radio state up to t.

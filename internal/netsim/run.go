@@ -2,11 +2,11 @@ package netsim
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"dense802154/internal/channel"
 	"dense802154/internal/contention"
-	"dense802154/internal/des"
 	"dense802154/internal/engine"
 	"dense802154/internal/frame"
 	"dense802154/internal/mac"
@@ -32,8 +32,8 @@ const (
 	evAckTimeout
 )
 
-// dispatch routes typed events to the model handlers (des.Dispatcher).
-func (e *env) dispatch(kind, actor int32, arg time.Duration) {
+// dispatchEvent routes typed events to the model handlers (des.Dispatcher).
+func (e *env) dispatchEvent(kind, actor int32, arg time.Duration) {
 	if kind == evBeacon {
 		e.beacon(arg)
 		return
@@ -55,15 +55,50 @@ func (e *env) dispatch(kind, actor int32, arg time.Duration) {
 	}
 }
 
-// Run executes the simulation and aggregates the results.
+// Runner is a reusable simulation arena: the des event storage, the medium
+// index, the node population (radio devices included) and the bookkeeping
+// slices all persist across runs, so a recycled Run performs only a handful
+// of allocations instead of the ~1.5 per node a cold start pays. A Runner
+// is not safe for concurrent use; give each worker goroutine its own (or go
+// through Run, which recycles Runners from an internal sync.Pool).
+//
+// Recycling is behavior-free by construction: every random stream is a pure
+// function of (Config.Seed, node index), and reset restores all mutable
+// state, so NewRunner().Run(cfg) and an arbitrarily reused runner.Run(cfg)
+// return bit-identical Results.
+type Runner struct {
+	e env
+	// setupRNG re-seeds per run for deployment sampling — the one cold
+	// path needing the full math/rand API (see Run's population comment).
+	setupRNG *rand.Rand
+}
+
+// NewRunner returns an empty arena. Storage grows to the largest Config the
+// Runner has executed and is reused from there on.
+func NewRunner() *Runner {
+	return &Runner{setupRNG: rand.New(rand.NewSource(1))}
+}
+
+// runnerPool recycles arenas across Run calls. Pooled state is fully reset
+// per run, so pooling is invisible in results; it only removes the per-run
+// setup allocations under replica-style workloads.
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
+
+// Run executes the simulation and aggregates the results. It draws a
+// recycled arena from an internal pool; the returned Result shares no
+// memory with it.
 func Run(cfg Config) Result {
+	r := runnerPool.Get().(*Runner)
+	res := r.Run(cfg)
+	runnerPool.Put(r)
+	return res
+}
+
+// Run executes one simulation on the recycled arena.
+func (r *Runner) Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
-	e := &env{
-		cfg:          cfg,
-		sim:          des.New(cfg.Seed),
-		attemptsHist: make([]int, cfg.NMax),
-	}
-	e.sim.SetDispatcher(e.dispatch)
+	e := &r.e
+	e.reset(cfg)
 	tr, _ := cfg.Radio.Transition(radio.Idle, radio.RX)
 	e.tia = tr.Duration
 	tr, _ = cfg.Radio.Transition(radio.Idle, radio.TX)
@@ -76,31 +111,30 @@ func Run(cfg Config) Result {
 
 	// Build the population. Deployment sampling is the one cold path that
 	// needs the full math/rand API, so the run seed's stream is upgraded
-	// through a rand.Rand wrapper here; the per-node hot-path streams are
+	// through a re-seeded rand.Rand here; the per-node hot-path streams are
 	// value-embedded engine.RNGs. Node streams derive from a
 	// domain-separated root (DeriveSeed(seed, -1)) rather than cfg.Seed
 	// directly, so they can never collide with the contention package's
 	// shard streams DeriveSeed(seed, shard) when both models run a
 	// cross-validation study off one seed.
-	setupRNG := rand.New(rand.NewSource(cfg.Seed + 1))
+	r.setupRNG.Seed(cfg.Seed + 1)
 	nodeRoot := engine.DeriveSeed(cfg.Seed, -1)
-	e.nodes = make([]node, cfg.Nodes)
 	for i := range e.nodes {
-		loss := cfg.Deployment.Sample(setupRNG)
+		loss := cfg.Deployment.Sample(r.setupRNG)
 		level, _ := cfg.Radio.LevelIndexFor(cfg.TargetPRxDBm + loss)
 		prx := channel.ReceivedPowerDBm(cfg.Radio.TXLevels[level].DBm, loss)
 		per := phy.PacketErrorRateBytes(cfg.BER.BitErrorRate(prx), frame.ErrorProneBytes(cfg.PayloadBytes))
 		n := &e.nodes[i]
-		n.id = i
-		n.env = e
-		n.dev = radio.NewDevice(cfg.Radio, radio.Shutdown)
-		n.rng = engine.NewRNG(engine.DeriveSeed(nodeRoot, int64(i)))
-		n.loss = loss
-		n.level = level
-		n.per = per
+		*n = node{
+			id:   i,
+			env:  e,
+			rng:  engine.NewRNG(engine.DeriveSeed(nodeRoot, int64(i))),
+			loss: loss, level: level, per: per,
+			traced: cfg.TraceNode == i+1,
+		}
+		n.dev.Init(cfg.Radio, radio.Shutdown)
 		n.dev.SetTXLevelIndex(level)
 		n.dev.SetPhase(radio.PhaseSleep)
-		n.traced = cfg.TraceNode == i+1
 	}
 
 	// Schedule the superframes.
@@ -402,7 +436,9 @@ func (e *env) collect(horizon time.Duration) Result {
 	energyPerNode := float64(ledger.TotalEnergy()) / float64(e.cfg.Nodes)
 	r.AvgPowerPerNode = units.Power(energyPerNode / horizon.Seconds())
 	r.AttemptsHist = append([]int(nil), e.attemptsHist...)
-	r.Trace = e.trace
+	// Copy the trace out of the arena: Result must not alias recycled
+	// storage (append of an empty trace stays nil and allocates nothing).
+	r.Trace = append([]TraceEvent(nil), e.trace...)
 	r.Contention = contention.Stats{
 		Tcont: time.Duration(e.contDur.Mean() * float64(time.Second)),
 		NCCA:  e.contCCA.Mean(),

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dense802154/internal/channel"
+)
+
+// resultsEqual compares two Results field by field; Trace and AttemptsHist
+// are owned copies, so deep equality is the right notion.
+func resultsEqual(a, b Result) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// TestRunnerRecycleBitIdentity is the recycling contract: a Runner reused
+// across runs — including runs under a different configuration in between —
+// must reproduce a fresh runner's results bit for bit. Pooled state leaking
+// across runs (an unreset ledger, a stale medium entry, a reused RNG
+// stream) breaks this immediately.
+func TestRunnerRecycleBitIdentity(t *testing.T) {
+	cfgA := Config{Nodes: 30, Superframes: 3, Seed: 11}
+	cfgB := Config{
+		Nodes: 12, Superframes: 2, Seed: 5, PayloadBytes: 40,
+		Deployment:     channel.UniformLoss{MinDB: 60, MaxDB: 80},
+		LowPowerListen: true,
+	}
+
+	fresh := NewRunner().Run(cfgA)
+	freshB := NewRunner().Run(cfgB)
+
+	r := NewRunner()
+	// Interleave configurations so the arena is recycled across different
+	// population sizes, radios and superframe counts.
+	for i := 0; i < 3; i++ {
+		if got := r.Run(cfgA); !resultsEqual(got, fresh) {
+			t.Fatalf("recycled run %d of cfgA diverges from fresh run:\n%v\n%v", i, got, fresh)
+		}
+		if got := r.Run(cfgB); !resultsEqual(got, freshB) {
+			t.Fatalf("recycled run %d of cfgB diverges from fresh run:\n%v\n%v", i, got, freshB)
+		}
+	}
+
+	// The pooled package-level Run must agree too.
+	if got := Run(cfgA); !resultsEqual(got, fresh) {
+		t.Fatalf("pooled Run diverges from fresh runner:\n%v\n%v", got, fresh)
+	}
+}
+
+// TestRunnerShrinkingPopulation recycles an arena from a large run into a
+// small one: node, histogram and medium storage sized for the big run must
+// not bleed into the small run's results.
+func TestRunnerShrinkingPopulation(t *testing.T) {
+	big := Config{Nodes: 80, Superframes: 2, Seed: 3}
+	small := Config{Nodes: 5, Superframes: 2, Seed: 3, NMax: 2}
+
+	want := NewRunner().Run(small)
+	r := NewRunner()
+	r.Run(big)
+	if got := r.Run(small); !resultsEqual(got, want) {
+		t.Fatalf("small run after big run diverges:\n%v\n%v", got, want)
+	}
+	if len(want.AttemptsHist) != 2 {
+		t.Fatalf("AttemptsHist length = %d, want NMax = 2", len(want.AttemptsHist))
+	}
+}
+
+// TestRunnerTraceIsolation ensures a returned trace does not alias the
+// recycled arena: a later run on the same runner must not mutate it.
+func TestRunnerTraceIsolation(t *testing.T) {
+	cfg := Config{Nodes: 8, Superframes: 2, Seed: 9, TraceNode: 1}
+	r := NewRunner()
+	first := r.Run(cfg)
+	if len(first.Trace) == 0 {
+		t.Fatal("traced run returned no trace events")
+	}
+	snapshot := append([]TraceEvent(nil), first.Trace...)
+	c2 := cfg
+	c2.Seed = 10
+	r.Run(c2)
+	if !reflect.DeepEqual(first.Trace, snapshot) {
+		t.Fatal("recycling the runner mutated a previously returned trace")
+	}
+}
+
+// TestRunReplicasRecycledEqualsFresh pins the replica sweep contract end to
+// end: results at Workers=1 equal results at Workers=N, and both equal
+// fresh unpooled runs of each replica seed.
+func TestRunReplicasRecycledEqualsFresh(t *testing.T) {
+	cfg := Config{Nodes: 25, Superframes: 3, Seed: 21}
+	const n = 5
+	serial, err := RunReplicas(context.Background(), cfg, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunReplicas(context.Background(), cfg, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("replica sets differ between worker counts:\n%v\n%v", serial, parallel)
+	}
+	seeds := ReplicaSeeds(cfg.Seed, n)
+	for i, s := range seeds {
+		c := cfg
+		c.Seed = s
+		if want := NewRunner().Run(c); !resultsEqual(serial.Results[i], want) {
+			t.Fatalf("replica %d diverges from a fresh unpooled run", i)
+		}
+	}
+}

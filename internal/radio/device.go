@@ -114,7 +114,18 @@ type Device struct {
 // NewDevice builds a device in the given initial state at the maximum TX
 // level.
 func NewDevice(c *Characterization, initial State) *Device {
-	return &Device{char: c, state: initial, levelIndex: c.MaxTXLevel()}
+	d := &Device{}
+	d.Init(c, initial)
+	return d
+}
+
+// Init (re)initializes the device in place to the state NewDevice would
+// build: the given characterization and initial state, maximum TX level, a
+// zeroed ledger, sleep-phase accounting and low-power listen off. It lets
+// value-embedded devices (the network simulator's pooled run state) be
+// recycled across runs without allocating.
+func (d *Device) Init(c *Characterization, initial State) {
+	*d = Device{char: c, state: initial, levelIndex: c.MaxTXLevel()}
 }
 
 // State reports the current radio state.

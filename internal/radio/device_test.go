@@ -225,3 +225,29 @@ func TestEnergyTimeConsistency(t *testing.T) {
 		t.Fatalf("transitions = %d, want 8", l.Transitions)
 	}
 }
+
+func TestDeviceInitResetsInPlace(t *testing.T) {
+	// Init must restore a used device to NewDevice's state without
+	// allocating — the network simulator recycles value-embedded devices
+	// across pooled runs.
+	c := CC2420()
+	var d Device
+	d.Init(c, Shutdown)
+	d.SetPhase(PhaseContention)
+	d.SetLowPowerListen(true)
+	d.SetTXLevelIndex(2)
+	d.TransitionTo(Idle)
+	d.Stay(time.Millisecond)
+	if d.Ledger().TotalEnergy() == 0 {
+		t.Fatal("expected accrued energy before reinit")
+	}
+
+	d.Init(c, Shutdown)
+	fresh := NewDevice(c, Shutdown)
+	if d != *fresh {
+		t.Fatalf("Init left state behind:\n%+v\nwant\n%+v", d, *fresh)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { d.Init(c, Shutdown) }); allocs > 0 {
+		t.Fatalf("Init allocated %v per call, want 0", allocs)
+	}
+}

@@ -204,6 +204,9 @@ func Run(ctx context.Context, sc Scenario, workers int) (*Result, error) {
 	}
 
 	// ---- Simulated side: replicated discrete-event runs ----
+	// RunReplicas recycles one runner arena per worker, so a catalog pass
+	// (15 scenarios × Replicas runs each) reuses node, medium and event-heap
+	// storage instead of rebuilding it per replica.
 	cfg := netsim.Config{
 		Nodes:          sc.Nodes,
 		PayloadBytes:   sc.PayloadBytes,
