@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"dense802154"
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/contention"
 	"dense802154/internal/core"
 	"dense802154/internal/des"
@@ -222,7 +223,12 @@ func main() {
 	warn := flag.Float64("warn", 1.5, "ns/op slowdown ratio that triggers a warning with -diff")
 	failAllocs := flag.Bool("failallocs", false, "exit non-zero when -diff finds an allocs/op regression (ns/op stays warn-only)")
 	testing.Init()
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-bench"))
+		return
+	}
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintf(os.Stderr, "wsn-bench: set benchtime: %v\n", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/fit"
 	"dense802154/internal/phy"
 )
@@ -22,7 +23,12 @@ func main() {
 		nf   = flag.Float64("nf", phy.DefaultNoiseFigureDB, "effective noise figure [dB]")
 		seed = flag.Int64("seed", 1, "random seed")
 	)
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-ber"))
+		return
+	}
 
 	bench := phy.NewBench(*seed)
 	bench.NoiseFigureDB = *nf

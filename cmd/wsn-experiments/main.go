@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"dense802154"
+	"dense802154/internal/buildinfo"
 )
 
 func main() {
@@ -30,7 +31,12 @@ func main() {
 		mark    = flag.Bool("markdown", false, "render tables as Markdown")
 		list    = flag.Bool("list", false, "list available experiments")
 	)
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-experiments"))
+		return
+	}
 
 	all := dense802154.Experiments()
 	if *list {

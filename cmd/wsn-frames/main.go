@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/frame"
 	"dense802154/internal/phy"
 )
@@ -21,7 +22,12 @@ func main() {
 		src     = flag.Uint("src", 0x0042, "source short address")
 		dst     = flag.Uint("dst", 0x0000, "destination short address")
 	)
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-frames"))
+		return
+	}
 
 	var f *frame.Frame
 	var err error

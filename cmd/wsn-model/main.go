@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"dense802154"
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/mac"
 )
 
@@ -21,7 +22,12 @@ func main() {
 		bo      = flag.Uint("bo", 6, "beacon order (SO = BO)")
 		nmax    = flag.Int("nmax", 5, "maximum transmissions per packet")
 	)
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-model"))
+		return
+	}
 
 	p := dense802154.DefaultParams()
 	p.PayloadBytes = *payload

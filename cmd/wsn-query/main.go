@@ -22,7 +22,9 @@
 // {"done":true,...} summary line — the same framing as POST
 // /v2/query/stream. -plan validates and prints the compiled execution plan
 // without running it. -workers overrides the query's own workers field
-// (0 keeps it; results never depend on it).
+// (0 keeps it; results never depend on it). -trace opts into execution
+// tracing: the ResultSet (or the stream's done line) carries per-task wall
+// times and replica seeds; traces never change computed result bytes.
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/query"
 )
 
@@ -45,15 +48,21 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines, overriding the query's workers field (0 keeps it; results are identical at any count)")
 		stream  = flag.Bool("stream", false, "emit NDJSON task results in plan order instead of one ResultSet document")
 		plan    = flag.Bool("plan", false, "validate and print the execution plan without running it")
+		trace   = flag.Bool("trace", false, "attach per-task execution timing to the result (sets the query's trace field)")
+		version = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
-	if err := run(*file, *workers, *stream, *plan); err != nil {
+	if *version {
+		fmt.Println(buildinfo.String("wsn-query"))
+		return
+	}
+	if err := run(*file, *workers, *stream, *plan, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "wsn-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, workers int, stream, planOnly bool) error {
+func run(file string, workers int, stream, planOnly, trace bool) error {
 	var in io.Reader = os.Stdin
 	if file != "" && file != "-" {
 		f, err := os.Open(file)
@@ -74,6 +83,9 @@ func run(file string, workers int, stream, planOnly bool) error {
 	}
 	if workers > 0 {
 		q.Workers = workers
+	}
+	if trace {
+		q.Trace = true
 	}
 
 	p, err := query.Compile(q)
@@ -110,7 +122,8 @@ func run(file string, workers int, stream, planOnly bool) error {
 			Done    bool                      `json:"done"`
 			Count   int                       `json:"count"`
 			Summary *query.ReplicaSummaryWire `json:"summary,omitempty"`
-		}{Done: true, Count: len(rs.Results), Summary: rs.Summary})
+			Trace   *query.PlanTraceWire      `json:"trace,omitempty"`
+		}{Done: true, Count: len(rs.Results), Summary: rs.Summary, Trace: rs.Trace})
 	}
 	body, err := rs.Encode()
 	if err != nil {

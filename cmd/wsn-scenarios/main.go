@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"syscall"
 
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/scenario"
 )
 
@@ -34,7 +35,12 @@ func main() {
 			"usage: wsn-scenarios [flags] <list|run|diff> [scenario ...]\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-scenarios"))
+		return
+	}
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)

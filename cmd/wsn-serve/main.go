@@ -15,6 +15,12 @@
 // See the package documentation of internal/service for the endpoint list
 // and doc.go for example invocations.
 //
+// Observability: GET /metrics serves the Prometheus text format (see the
+// internal/service package doc for the family list). Request logging is
+// structured; -log-format selects text (default) or json records and
+// -log-level the threshold (debug, info, warn, error). -quiet disables
+// request logging entirely.
+//
 // Profiling: -pprof 127.0.0.1:6060 exposes the standard net/http/pprof
 // endpoints (/debug/pprof/profile, /heap, /allocs, …) on a separate
 // listener, so production profiles of the simulation cores can be captured
@@ -30,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -38,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/service"
 )
 
@@ -64,8 +72,32 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "disable per-request logging")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
+		logFormat = flag.String("log-format", "text", "request log format: text or json")
+		logLevel  = flag.String("log-level", "info", "request log threshold: debug, info, warn or error")
+		version   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-serve"))
+		return
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-serve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "wsn-serve: bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
 
 	logger := log.New(os.Stderr, "wsn-serve: ", log.LstdFlags)
 	cfg := service.Config{
@@ -75,7 +107,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 	}
 	if !*quiet {
-		cfg.Log = logger
+		cfg.Logger = slog.New(handler)
 	}
 
 	srv := &http.Server{

@@ -15,6 +15,7 @@ import (
 	"runtime"
 
 	"dense802154"
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/channel"
 	"dense802154/internal/mac"
 	"dense802154/internal/radio"
@@ -34,7 +35,12 @@ func main() {
 		txProb      = flag.Float64("p", 1, "per-superframe transmit probability")
 		fast        = flag.Bool("fast-transitions", false, "halve radio transition times (§5 improvement)")
 	)
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("wsn-sim"))
+		return
+	}
 
 	sf, err := mac.NewSuperframe(uint8(*bo), uint8(*bo))
 	if err != nil {

@@ -101,6 +101,56 @@
 // 127.0.0.1:6060 exposes net/http/pprof on a separate listener for
 // production profiles of the simulation cores.
 //
+// # Observability
+//
+// GET /metrics serves the server's telemetry in the Prometheus text format
+// (internal/telemetry: a zero-dependency registry whose encoding is
+// byte-stable, parsed back and lint-checked in CI by
+// internal/telemetry/metricslint). The exported families:
+//
+//	wsn_http_requests_total{route,code}         counter    requests by route pattern and status
+//	wsn_http_request_duration_seconds{route}    histogram  request wall time
+//	wsn_http_requests_in_flight                 gauge      requests currently executing
+//	wsn_http_errors_total{route,class}          counter    non-2xx responses (class 4xx|5xx)
+//	wsn_query_total{kind}                       counter    v2 queries by kind
+//	wsn_query_tasks_total                       counter    plan tasks scheduled by v2 queries
+//	wsn_worker_pool_capacity                    gauge      worker-token budget
+//	wsn_worker_pool_in_use                      gauge      tokens currently held
+//	wsn_worker_acquires_total                   counter    token-pool acquisitions
+//	wsn_worker_wait_seconds                     histogram  wait for the first token
+//	wsn_uptime_seconds                          gauge      seconds since server start
+//	wsn_build_info{version,revision,goversion}  gauge      constant 1
+//	wsn_engine_batches_total                    counter    Map/MapSlice batches
+//	wsn_engine_task_seconds                     histogram  per-task execution time
+//	wsn_engine_task_wait_seconds                histogram  per-task queue wait
+//	wsn_contention_cache_hits_total             counter    characterization cache hits
+//	wsn_contention_cache_misses_total           counter    characterizations computed
+//	wsn_contention_cache_evictions_total        counter    LRU evictions
+//	wsn_contention_cache_entries                gauge      resident characterizations
+//	wsn_contention_cache_limit                  gauge      configured bound (0 = none)
+//	wsn_netsim_runs_total                       counter    completed simulation runs
+//	wsn_netsim_events_total                     counter    DES events dispatched
+//	wsn_netsim_cca_attempts_total               counter    clear channel assessments
+//	wsn_netsim_backoffs_total                   counter    CSMA/CA backoff draws
+//	wsn_netsim_prune_fallback_total             counter    out-of-order medium full scans
+//	wsn_netsim_heap_depth_max                   gauge      deepest event heap seen
+//
+// A minimal Prometheus scrape config:
+//
+//	scrape_configs:
+//	  - job_name: wsn-serve
+//	    static_configs:
+//	      - targets: ["localhost:8080"]
+//
+// Request logging is structured (-log-format text|json, -log-level) with a
+// per-request id echoed in X-Request-Id; /healthz reports uptime and build
+// info, and every cmd/* binary prints its module version and VCS stamp
+// with -version. Queries opt into per-task execution tracing with
+// {"trace":true} (or wsn-query -trace): the ResultSet (or the stream's
+// done line) gains per-task wall times and replica seeds. Traces are
+// measured, not computed — they are excluded from the byte-identity
+// contract, which tracing never disturbs.
+//
 // # Command line
 //
 // cmd/wsn-query runs one Query document against the same layer:

@@ -1,0 +1,25 @@
+package contention
+
+import "dense802154/internal/telemetry"
+
+// RegisterMetrics exposes the process-wide Monte-Carlo characterization
+// cache in r, read from CacheStats at scrape time (the cache already keeps
+// mutex-consistent counters; no second set of atomics is needed):
+//
+//	wsn_contention_cache_hits_total       counter  single-flight cache hits
+//	wsn_contention_cache_misses_total     counter  characterizations computed
+//	wsn_contention_cache_evictions_total  counter  LRU evictions
+//	wsn_contention_cache_entries          gauge    resident characterizations
+//	wsn_contention_cache_limit            gauge    configured bound (0 = none)
+func RegisterMetrics(r *telemetry.Registry) {
+	r.CounterFunc("wsn_contention_cache_hits_total", "Contention characterization cache hits.",
+		func() float64 { return float64(CacheStats().Hits) })
+	r.CounterFunc("wsn_contention_cache_misses_total", "Contention characterizations computed (cache misses).",
+		func() float64 { return float64(CacheStats().Misses) })
+	r.CounterFunc("wsn_contention_cache_evictions_total", "Contention characterization cache LRU evictions.",
+		func() float64 { return float64(CacheStats().Evictions) })
+	r.GaugeFunc("wsn_contention_cache_entries", "Contention characterizations currently cached.",
+		func() float64 { return float64(CacheStats().Entries) })
+	r.GaugeFunc("wsn_contention_cache_limit", "Configured contention cache bound (0 means unbounded).",
+		func() float64 { return float64(CacheStats().Limit) })
+}

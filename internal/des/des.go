@@ -96,6 +96,7 @@ type Simulator struct {
 	seq      uint64
 	rng      engine.RNG
 	fired    uint64
+	maxDepth int // deepest the event heap has grown this run
 	dispatch Dispatcher
 }
 
@@ -127,6 +128,7 @@ func (s *Simulator) Reset(seed int64) {
 	s.live = 0
 	s.seq = 0
 	s.fired = 0
+	s.maxDepth = 0
 	s.rng = engine.NewRNG(seed)
 }
 
@@ -142,6 +144,11 @@ func (s *Simulator) Rand() *engine.RNG { return &s.rng }
 
 // Fired reports the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
+
+// MaxHeapDepth reports the deepest the event heap has grown since the last
+// Reset — the peak number of simultaneously pending heap entries, a direct
+// measure of scheduling pressure on the 4-ary heap.
+func (s *Simulator) MaxHeapDepth() int { return s.maxDepth }
 
 // Pending reports the number of events currently scheduled (cancelled
 // events are excluded even before their slots are collected).
@@ -202,6 +209,9 @@ func (s *Simulator) push(t time.Duration, kind, actor int32, arg time.Duration, 
 	s.seq++
 	s.live++
 	s.heap = append(s.heap, ev)
+	if len(s.heap) > s.maxDepth {
+		s.maxDepth = len(s.heap)
+	}
 	s.siftUp(len(s.heap) - 1)
 	return EventID{slot: id, gen: sl.gen}
 }

@@ -276,6 +276,30 @@ func TestFiredCounter(t *testing.T) {
 	}
 }
 
+func TestMaxHeapDepth(t *testing.T) {
+	s := New(1)
+	if s.MaxHeapDepth() != 0 {
+		t.Fatalf("fresh MaxHeapDepth = %d, want 0", s.MaxHeapDepth())
+	}
+	for i := 0; i < 9; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.MaxHeapDepth() != 9 {
+		t.Fatalf("MaxHeapDepth = %d, want 9 (all scheduled before any fired)", s.MaxHeapDepth())
+	}
+	s.Reset(1)
+	if s.MaxHeapDepth() != 0 {
+		t.Fatalf("MaxHeapDepth after Reset = %d, want 0", s.MaxHeapDepth())
+	}
+	// Interleaved schedule/fire: the mark tracks the peak, not the total.
+	s.Schedule(time.Millisecond, func() { s.Schedule(time.Millisecond, func() {}) })
+	s.Run()
+	if s.Fired() != 2 || s.MaxHeapDepth() != 1 {
+		t.Fatalf("Fired = %d MaxHeapDepth = %d, want 2 and 1", s.Fired(), s.MaxHeapDepth())
+	}
+}
+
 // Property: for any set of non-negative delays, events fire sorted by time
 // and the number fired equals the number scheduled.
 func TestPropertyOrderedFiring(t *testing.T) {

@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ResolveWorkers normalizes a worker-count request: n ≥ 1 is used as given;
@@ -62,12 +63,17 @@ func Map(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	taskBatches.Inc()
+	batchStart := time.Now()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			taskStart := time.Now()
+			err := fn(i)
+			observeTask(batchStart, taskStart, time.Now())
+			if err != nil {
 				return err
 			}
 		}
@@ -92,7 +98,10 @@ func Map(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				taskStart := time.Now()
+				err := fn(i)
+				observeTask(batchStart, taskStart, time.Now())
+				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return

@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"time"
+
+	"dense802154/internal/telemetry"
+)
+
+// Package-level pool telemetry, fed by Map on both its serial and parallel
+// paths. The histograms are package-owned so every registry in the process
+// scrapes the same totals; Observe is atomic and allocation-free, keeping
+// Map's per-task overhead to two clock reads.
+var (
+	taskBatches  telemetry.Counter
+	taskExecHist = telemetry.NewHistogram(taskBuckets...)
+	taskWaitHist = telemetry.NewHistogram(taskBuckets...)
+)
+
+// taskBuckets spans the observed task range: microsecond model evaluations
+// through multi-second Monte-Carlo characterizations.
+var taskBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// RegisterMetrics exposes the worker-pool metrics in r:
+//
+//	wsn_engine_batches_total        counter    Map/MapSlice batches executed
+//	wsn_engine_task_seconds         histogram  per-task execution wall time
+//	wsn_engine_task_wait_seconds    histogram  per-task queue wait (batch
+//	                                           submission → task start)
+func RegisterMetrics(r *telemetry.Registry) {
+	r.RegisterCounter("wsn_engine_batches_total", "Worker-pool batches executed by Map/MapSlice.", &taskBatches)
+	r.RegisterHistogram("wsn_engine_task_seconds", "Per-task execution wall time in the worker pool.", taskExecHist)
+	r.RegisterHistogram("wsn_engine_task_wait_seconds", "Per-task wait from batch submission to task start.", taskWaitHist)
+}
+
+// observeTask records one completed task's queue wait and execution time.
+func observeTask(batchStart, taskStart time.Time, end time.Time) {
+	taskWaitHist.Observe(taskStart.Sub(batchStart).Seconds())
+	taskExecHist.Observe(end.Sub(taskStart).Seconds())
+}

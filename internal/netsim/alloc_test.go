@@ -26,12 +26,41 @@ func TestRunAllocBudget(t *testing.T) {
 	})
 	// Steady state measures ~6 allocs; the budget leaves headroom for a GC
 	// emptying the sync.Pool mid-run without tolerating a setup
-	// regression (which costs one-plus per node).
+	// regression (which costs one-plus per node). The telemetry fold
+	// (foldRunMetrics: six atomic ops once per run) must not move this —
+	// run counters live in plain env ints on the hot paths.
 	const budget = 16
 	if allocs > budget {
 		t.Fatalf("Run allocated %v per run, budget %d", allocs, budget)
 	}
 	t.Logf("Run steady-state allocations per run: %v", allocs)
+}
+
+// TestRunTelemetryFold checks that every run folds its counters into the
+// package totals exactly once, with values consistent with the run's own
+// Result, and that the fold itself adds no allocations (covered by
+// TestRunAllocBudget, which runs with folding active).
+func TestRunTelemetryFold(t *testing.T) {
+	cfg := Config{Nodes: 20, Superframes: 2, Seed: 11}
+	runs0 := runsTotal.Value()
+	events0 := eventsTotal.Value()
+	cca0 := ccaTotal.Value()
+	res := Run(cfg)
+	if got := runsTotal.Value() - runs0; got != 1 {
+		t.Errorf("runs_total advanced by %d, want 1", got)
+	}
+	if eventsTotal.Value() == events0 {
+		t.Error("events_total did not advance")
+	}
+	// Every transmission passed at least one CCA, so the CCA delta must
+	// dominate the run's transmission count.
+	ccaDelta := ccaTotal.Value() - cca0
+	if ccaDelta < uint64(res.Transmissions) {
+		t.Errorf("cca_attempts_total advanced by %d, below %d transmissions", ccaDelta, res.Transmissions)
+	}
+	if heapDepthMax.Value() <= 0 {
+		t.Errorf("heap_depth_max = %d, want > 0", heapDepthMax.Value())
+	}
 }
 
 // TestRunReplicasAllocBudget guards the replica sweep: n pooled runs plus

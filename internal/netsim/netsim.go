@@ -245,6 +245,8 @@ type medium struct {
 	byEnd    []transmission // min-heap on end: the active set
 	byStart  []txInterval   // min-heap on start: lazy query index
 	maxPrune time.Duration  // highest prune threshold seen this run
+
+	fallbacks int // out-of-order busyWindow queries that forced a full scan
 }
 
 // reset clears the medium for a recycled run, zeroing the vacated storage so
@@ -256,6 +258,7 @@ func (m *medium) reset() {
 	m.byEnd = m.byEnd[:0]
 	m.byStart = m.byStart[:0]
 	m.maxPrune = 0
+	m.fallbacks = 0
 }
 
 // prune drops transmissions that ended at or before t — a prefix pop off the
@@ -276,6 +279,7 @@ func (m *medium) prune(t time.Duration) {
 func (m *medium) busyWindow(a, b time.Duration) bool {
 	m.prune(a)
 	if a < m.maxPrune {
+		m.fallbacks++
 		// Out-of-order query: the index may have lazily retired entries
 		// still relevant at this earlier instant. Unreachable on the slot
 		// grid (see the invariants above), but the full scan keeps the
@@ -458,6 +462,7 @@ type env struct {
 	transmissions, collisions   int
 	accessFailures, corrupted   int
 	txnFailures, txnTotal       int
+	ccaAttempts, backoffs       int
 	delays                      []float64
 	attemptsHist                []int
 	trace                       []TraceEvent
@@ -494,6 +499,7 @@ func (e *env) reset(cfg Config) {
 	e.transmissions, e.collisions = 0, 0
 	e.accessFailures, e.corrupted = 0, 0
 	e.txnFailures, e.txnTotal = 0, 0
+	e.ccaAttempts, e.backoffs = 0, 0
 	e.delays = e.delays[:0]
 	e.trace = e.trace[:0]
 	e.contDur, e.contCCA = stats.Accumulator{}, stats.Accumulator{}

@@ -150,6 +150,7 @@ func (r *Runner) Run(cfg Config) Result {
 	for i := range e.nodes {
 		e.nodes[i].advance(horizon)
 	}
+	foldRunMetrics(e)
 	return e.collect(horizon)
 }
 
@@ -258,6 +259,7 @@ func (n *node) doCCA(b time.Duration) {
 	n.transition(radio.RX)
 	n.advance(b + phy.CCADuration)
 	e.med.prune(b)
+	e.ccaAttempts++
 	busy := e.med.busyWindow(b, b+phy.CCADuration)
 	n.transition(radio.Idle)
 	n.dev.SetLowPowerListen(false)
@@ -270,6 +272,7 @@ func (n *node) doCCA(b time.Duration) {
 		start := b + phy.UnitBackoffPeriod
 		e.sim.AtEvent(start-e.tiaTx, evTransmit, int32(n.id), start)
 	case mac.OutcomeBackoff:
+		e.backoffs++
 		next := b + phy.UnitBackoffPeriod
 		for !n.txn.CCADue() {
 			n.txn.AdvanceSlot()

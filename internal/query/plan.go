@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"time"
 
 	"dense802154/internal/core"
 	"dense802154/internal/engine"
@@ -78,6 +79,29 @@ func WireReplicaSummary(rs netsim.ReplicaSet) ReplicaSummaryWire {
 	}
 }
 
+// TaskSpanWire is one task's timing inside a plan trace: its plan index and
+// label, the seed it ran under where the plan assigns per-task seeds
+// (replica tasks), and its wall time. Wall times are measured, not
+// computed — two identical queries produce different spans — so traces are
+// never part of the byte-identity contract.
+type TaskSpanWire struct {
+	Index  int    `json:"index"`
+	Label  string `json:"label"`
+	Seed   *int64 `json:"seed,omitempty"`
+	WallMS Float  `json:"wall_ms"`
+}
+
+// PlanTraceWire is the opt-in execution trace of one query (Query.Trace):
+// the plan shape, the worker grant it ran under, the end-to-end wall time
+// and one TaskSpanWire per task in plan order.
+type PlanTraceWire struct {
+	Kind    Kind           `json:"kind"`
+	Workers int            `json:"workers"`
+	Tasks   int            `json:"tasks"`
+	WallMS  Float          `json:"wall_ms"`
+	Spans   []TaskSpanWire `json:"spans"`
+}
+
 // ResultSet is the tagged outcome of one Query: the per-task results in
 // plan order plus, for replica plans, the across-replica summary.
 type ResultSet struct {
@@ -85,6 +109,7 @@ type ResultSet struct {
 	Kind    Kind                `json:"kind"`
 	Results []TaskResult        `json:"results"`
 	Summary *ReplicaSummaryWire `json:"summary,omitempty"`
+	Trace   *PlanTraceWire      `json:"trace,omitempty"`
 
 	// value is the merged in-process result where one exists (a
 	// netsim.ReplicaSet for kind replicas); see TaskResult.Value for the
@@ -115,6 +140,7 @@ func (rs *ResultSet) Encode() ([]byte, error) {
 // task is one schedulable unit of a compiled plan.
 type task struct {
 	label string
+	seed  *int64 // per-task seed, set where the plan derives one (replicas)
 	run   func(ctx context.Context) (TaskResult, error)
 }
 
@@ -135,6 +161,9 @@ type Plan struct {
 	Kind Kind
 	// Workers is the parallelism the query asked for (0 ⇒ NumCPU).
 	Workers int
+	// Trace carries the query's tracing opt-in; Execute attaches a
+	// PlanTraceWire to the ResultSet when set.
+	Trace bool
 
 	numTasks int
 	labels   []string
@@ -183,7 +212,7 @@ func Compile(q Query) (*Plan, error) {
 	if aerr != nil {
 		return nil, aerr
 	}
-	p := &Plan{Kind: q.Kind, Workers: q.Workers, numTasks: len(ex.tasks), build: build}
+	p := &Plan{Kind: q.Kind, Workers: q.Workers, Trace: q.Trace, numTasks: len(ex.tasks), build: build}
 	for _, t := range ex.tasks {
 		p.labels = append(p.labels, t.label)
 	}
@@ -204,8 +233,26 @@ func (p *Plan) Execute(ctx context.Context, workers int, yield func(TaskResult) 
 	}
 	n := len(ex.tasks)
 	results := make([]TaskResult, n)
+	var spans []TaskSpanWire
+	var planStart time.Time
+	if p.Trace {
+		spans = make([]TaskSpanWire, n)
+		planStart = time.Now()
+	}
 	runTask := func(ctx context.Context, i int) error {
+		var taskStart time.Time
+		if spans != nil {
+			taskStart = time.Now()
+		}
 		r, err := ex.tasks[i].run(ctx)
+		if spans != nil {
+			spans[i] = TaskSpanWire{
+				Index:  i,
+				Label:  ex.tasks[i].label,
+				Seed:   ex.tasks[i].seed,
+				WallMS: Float(time.Since(taskStart).Seconds() * 1e3),
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -264,6 +311,15 @@ func (p *Plan) Execute(ctx context.Context, workers int, yield func(TaskResult) 
 	rs := &ResultSet{Version: Version, Kind: p.Kind, Results: results}
 	if ex.assemble != nil {
 		ex.assemble(rs)
+	}
+	if spans != nil {
+		rs.Trace = &PlanTraceWire{
+			Kind:    p.Kind,
+			Workers: workers,
+			Tasks:   n,
+			WallMS:  Float(time.Since(planStart).Seconds() * 1e3),
+			Spans:   spans,
+		}
 	}
 	return rs, nil
 }
@@ -499,7 +555,7 @@ func (q *Query) buildReplicas(workers int) (*exec, *Error) {
 	for i := range tasks {
 		seed := seeds[i]
 		idx := i
-		tasks[i] = task{label: "replica[" + strconv.Itoa(idx) + "]", run: func(ctx context.Context) (TaskResult, error) {
+		tasks[i] = task{label: "replica[" + strconv.Itoa(idx) + "]", seed: &seed, run: func(ctx context.Context) (TaskResult, error) {
 			c := cfg
 			c.Seed = seed
 			r := netsim.Run(c)

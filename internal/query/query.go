@@ -271,6 +271,13 @@ type Query struct {
 	// depend on it.
 	Workers int `json:"workers,omitempty"`
 
+	// Trace opts into plan execution tracing: the ResultSet carries a
+	// PlanTraceWire with per-task wall times. Like workers, it is legal on
+	// every kind and never changes computed result bytes — traces are
+	// observability, not results, and are excluded from byte-identity
+	// comparisons.
+	Trace bool `json:"trace,omitempty"`
+
 	// Direct carries pre-materialized inputs for the in-process facade
 	// wrappers; it is not part of the wire form.
 	Direct *Direct `json:"-"`

@@ -1,10 +1,12 @@
 package query
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"dense802154/internal/core"
@@ -215,6 +217,66 @@ func TestReplicasMatchesRunReplicas(t *testing.T) {
 	}
 	if len(rs.Results) != 3 {
 		t.Fatalf("results = %d", len(rs.Results))
+	}
+}
+
+// TestTraceBitIdentity pins the observability contract of Query.Trace: the
+// trace reports the plan faithfully (task count, labels, replica seeds) and
+// tracing never disturbs computed bytes — the Results of a traced run at
+// any worker count are byte-identical to an untraced run's.
+func TestTraceBitIdentity(t *testing.T) {
+	base := Query{Kind: KindReplicas, Sim: &SimConfigWire{Nodes: intPtr(10), Superframes: intPtr(3)}, Replicas: 4}
+
+	resultsJSON := func(rs *ResultSet) []byte {
+		stripped := *rs
+		stripped.Trace = nil
+		b, err := stripped.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	plain, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced query returned a trace")
+	}
+	want := resultsJSON(plain)
+
+	for _, workers := range []int{1, 4} {
+		q := base
+		q.Workers = workers
+		q.Trace = true
+		rs, err := Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resultsJSON(rs); !bytes.Equal(got, want) {
+			t.Fatalf("traced run at workers=%d changed result bytes", workers)
+		}
+		tr := rs.Trace
+		if tr == nil {
+			t.Fatalf("workers=%d: no trace on a traced query", workers)
+		}
+		if tr.Kind != KindReplicas || tr.Tasks != 4 || len(tr.Spans) != 4 {
+			t.Fatalf("trace shape = kind %s tasks %d spans %d", tr.Kind, tr.Tasks, len(tr.Spans))
+		}
+		cfg, _ := base.Sim.Config()
+		seeds := netsim.ReplicaSeeds(cfg.Seed, 4)
+		for i, sp := range tr.Spans {
+			if sp.Index != i || sp.Label != "replica["+strconv.Itoa(i)+"]" {
+				t.Fatalf("span %d: index %d label %q", i, sp.Index, sp.Label)
+			}
+			if sp.Seed == nil || *sp.Seed != seeds[i] {
+				t.Fatalf("span %d: seed %v, want %d", i, sp.Seed, seeds[i])
+			}
+			if sp.WallMS < 0 {
+				t.Fatalf("span %d: negative wall time %v", i, sp.WallMS)
+			}
+		}
 	}
 }
 

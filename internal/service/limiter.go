@@ -2,8 +2,10 @@ package service
 
 import (
 	"context"
+	"time"
 
 	"dense802154/internal/engine"
+	"dense802154/internal/telemetry"
 )
 
 // limiter is the server-wide worker-token pool: every request that fans out
@@ -15,13 +17,23 @@ import (
 type limiter struct {
 	capacity int
 	tokens   chan struct{}
+
+	// acquires counts successful grants; waitHist observes the wait for
+	// the first token (the queueing delay a request experiences under
+	// load). Both are read by /v1/stats and the metrics registry.
+	acquires telemetry.Counter
+	waitHist *telemetry.Histogram
 }
 
 // newLimiter builds a pool of capacity tokens (≤ 0 selects NumCPU, via the
 // shared engine.ResolveWorkers rule).
 func newLimiter(capacity int) *limiter {
 	capacity = engine.ResolveWorkers(capacity)
-	l := &limiter{capacity: capacity, tokens: make(chan struct{}, capacity)}
+	l := &limiter{
+		capacity: capacity,
+		tokens:   make(chan struct{}, capacity),
+		waitHist: telemetry.NewHistogram(workerWaitBuckets...),
+	}
 	for i := 0; i < capacity; i++ {
 		l.tokens <- struct{}{}
 	}
@@ -42,11 +54,14 @@ func (l *limiter) acquire(ctx context.Context, want int) (int, func(), error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
+	waitStart := time.Now()
 	select {
 	case <-l.tokens:
 	case <-ctx.Done():
 		return 0, nil, ctx.Err()
 	}
+	l.waitHist.Observe(time.Since(waitStart).Seconds())
+	l.acquires.Inc()
 	got := 1
 greedy:
 	for got < want {

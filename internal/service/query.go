@@ -39,11 +39,19 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (query.Quer
 	return q, plan, true
 }
 
+// countQuery records an accepted (compiled) v2 query in the per-kind and
+// task-volume counters.
+func (s *Server) countQuery(plan *query.Plan) {
+	s.queryKinds.With(string(plan.Kind)).Inc()
+	s.queryTasks.Add(uint64(plan.NumTasks()))
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, plan, ok := s.decodeQuery(w, r)
 	if !ok {
 		return
 	}
+	s.countQuery(plan)
 	got, release, ok := s.acquireWorkers(w, r, q.Workers)
 	if !ok {
 		return
@@ -66,14 +74,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryStreamLine is the final NDJSON record of a /v2/query/stream
-// response: done=true, the task count, and the replicas summary when the
-// plan has one. The preceding lines are raw query.TaskResult encodings —
-// exactly the elements of the non-streaming ResultSet.Results, byte for
-// byte.
+// response: done=true, the task count, the replicas summary when the plan
+// has one, and the execution trace when the query opted in. The preceding
+// lines are raw query.TaskResult encodings — exactly the elements of the
+// non-streaming ResultSet.Results, byte for byte.
 type queryStreamLine struct {
 	Done    bool                      `json:"done"`
 	Count   int                       `json:"count"`
 	Summary *query.ReplicaSummaryWire `json:"summary,omitempty"`
+	Trace   *query.PlanTraceWire      `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
@@ -81,6 +90,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.countQuery(plan)
 	got, release, ok := s.acquireWorkers(w, r, q.Workers)
 	if !ok {
 		return
@@ -109,7 +119,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		// client-visible error signal.
 		return
 	}
-	_ = enc.Encode(queryStreamLine{Done: true, Count: count, Summary: rs.Summary})
+	_ = enc.Encode(queryStreamLine{Done: true, Count: count, Summary: rs.Summary, Trace: rs.Trace})
 }
 
 // writeQueryError maps an execution failure: context failures are 503s,

@@ -312,7 +312,7 @@ func TestQueryStreamClientDisconnect(t *testing.T) {
 	resp.Body.Close()
 
 	deadline := time.Now().Add(15 * time.Second)
-	for srv.inflight.Load() != 0 {
+	for srv.stats.inFlight() != 0 {
 		if time.Now().After(deadline) {
 			t.Fatalf("request still in flight %v after disconnect", 15*time.Second)
 		}

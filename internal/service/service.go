@@ -7,7 +7,8 @@
 //
 // # Endpoints
 //
-//	GET  /healthz                    liveness probe
+//	GET  /healthz                    liveness probe (uptime + build info)
+//	GET  /metrics                    Prometheus text-format metrics
 //	GET  /v1/stats                   cache and request counters
 //	POST /v1/evaluate                one Params → Metrics
 //	POST /v1/batch                   many Params → []Metrics (NDJSON with ?stream=1)
@@ -25,9 +26,37 @@
 //	POST /v2/query/stream            same Query, NDJSON TaskResults in plan order
 //
 // The v2 routes speak the unified query type of internal/query: one
-// versioned request covers everything the v1 routes do (see the v1 → v2
-// wire mapping in codec.go), and new parameter axes become Query fields
-// instead of new endpoints. The v1 routes are maintained but frozen.
+// versioned request covers everything the per-endpoint v1 routes do (see
+// the v1 → v2 wire mapping in codec.go), and new parameter axes become
+// Query fields instead of new endpoints. The v1 routes are maintained but
+// frozen.
+//
+// # Observability
+//
+// Every server owns a telemetry.Registry scraped at GET /metrics in the
+// Prometheus text format. The exported families:
+//
+//	wsn_http_requests_total{route,code}        counter    requests by route pattern and status
+//	wsn_http_request_duration_seconds{route}   histogram  wall time per request
+//	wsn_http_requests_in_flight                gauge      requests currently executing
+//	wsn_http_errors_total{route,class}         counter    non-2xx responses, class 4xx or 5xx
+//	wsn_query_total{kind}                      counter    v2 queries by query kind
+//	wsn_query_tasks_total                      counter    plan tasks scheduled by v2 queries
+//	wsn_worker_pool_capacity                   gauge      worker-token budget
+//	wsn_worker_pool_in_use                     gauge      tokens currently held
+//	wsn_worker_acquires_total                  counter    token-pool acquisitions
+//	wsn_worker_wait_seconds                    histogram  wait for the first token
+//	wsn_uptime_seconds                         gauge      seconds since server start
+//	wsn_build_info{version,revision,goversion} gauge      constant 1, build identification
+//
+// plus the engine worker-pool metrics (wsn_engine_*), the contention cache
+// (wsn_contention_cache_*) and the simulator run counters (wsn_netsim_*);
+// see the RegisterMetrics doc of each package. Those families read
+// process-wide sources, so two servers in one process scrape one truth.
+//
+// Request logging is structured (log/slog): one record per request with a
+// monotone request id (also echoed in the X-Request-Id response header),
+// method, path, matched route, status, byte count and duration.
 //
 // # Concurrency model
 //
@@ -52,12 +81,18 @@ import (
 	"errors"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"dense802154/internal/buildinfo"
 	"dense802154/internal/contention"
+	"dense802154/internal/engine"
+	"dense802154/internal/netsim"
+	"dense802154/internal/telemetry"
 )
 
 // Config parameterizes a Server.
@@ -76,8 +111,65 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies (0 ⇒ 8 MiB).
 	MaxBodyBytes int64
-	// Log receives one line per request (nil disables logging).
+	// Logger receives one structured record per request (nil falls back
+	// to Log, then to no logging).
+	Logger *slog.Logger
+	// Log is the legacy plain logger; when Logger is nil and Log is set,
+	// requests are logged through a text slog handler on Log's writer.
 	Log *log.Logger
+}
+
+// requestDurationBuckets spans the request range: sub-millisecond stats
+// reads through multi-second Monte-Carlo sweeps.
+var requestDurationBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60}
+
+// workerWaitBuckets resolves queueing under load: instant grants through
+// multi-second waits behind long sweeps.
+var workerWaitBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
+
+// requestStats is the mutex-guarded request ledger behind /v1/stats. One
+// lock covers every field, so a stats snapshot is a single consistent
+// observation instead of a field-by-field read that can tear across
+// concurrent requests (a request appearing in requests_total but not yet in
+// responses_4xx, say).
+type requestStats struct {
+	mu       sync.Mutex
+	requests uint64
+	inflight int64
+	resp4xx  uint64
+	resp5xx  uint64
+}
+
+func (st *requestStats) begin() {
+	st.mu.Lock()
+	st.requests++
+	st.inflight++
+	st.mu.Unlock()
+}
+
+func (st *requestStats) end(status int) {
+	st.mu.Lock()
+	st.inflight--
+	switch {
+	case status >= 500:
+		st.resp5xx++
+	case status >= 400:
+		st.resp4xx++
+	}
+	st.mu.Unlock()
+}
+
+// snapshot returns all fields under one lock acquisition.
+func (st *requestStats) snapshot() (requests uint64, inflight int64, resp4xx, resp5xx uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.requests, st.inflight, st.resp4xx, st.resp5xx
+}
+
+func (st *requestStats) inFlight() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.inflight
 }
 
 // Server is the HTTP front-end. It implements http.Handler and is safe for
@@ -86,74 +178,215 @@ type Server struct {
 	cfg  Config
 	pool *limiter
 	mux  *http.ServeMux
+	log  *slog.Logger
 
-	started  time.Time
-	requests atomic.Uint64
-	inflight atomic.Int64
+	started time.Time
+	stats   requestStats
+	reqSeq  atomic.Uint64
+	ridBase string // request-id prefix, unique per server instance
+
+	reg          *telemetry.Registry
+	httpRequests *telemetry.CounterVec
+	httpDuration *telemetry.HistogramVec
+	httpInFlight *telemetry.Gauge
+	httpErrors   *telemetry.CounterVec
+	queryKinds   *telemetry.CounterVec
+	queryTasks   *telemetry.Counter
 }
 
-// NewServer builds the service with its routes, worker pool and cache
-// bound installed.
+// NewServer builds the service with its routes, worker pool, cache bound
+// and metrics registry installed.
 func NewServer(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	logger := cfg.Logger
+	if logger == nil && cfg.Log != nil {
+		logger = slog.New(slog.NewTextHandler(cfg.Log.Writer(), nil))
+	}
+	started := time.Now()
 	s := &Server{
 		cfg:     cfg,
 		pool:    newLimiter(cfg.Workers),
 		mux:     http.NewServeMux(),
-		started: time.Now(),
+		log:     logger,
+		started: started,
+		ridBase: strconv.FormatInt(started.UnixNano(), 36),
+		reg:     telemetry.NewRegistry(),
 	}
 	contention.SetCacheLimit(cfg.CacheLimit)
+	s.registerMetrics()
 
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/casestudy", s.handleCaseStudy)
-	s.mux.HandleFunc("POST /v1/sweep/pathloss", s.handleSweepPathLoss)
-	s.mux.HandleFunc("POST /v1/sweep/thresholds", s.handleSweepThresholds)
-	s.mux.HandleFunc("POST /v1/sweep/payload", s.handleSweepPayload)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	s.mux.HandleFunc("POST /v1/experiments/{name}", s.handleExperimentRun)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
-	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioGolden)
-	s.mux.HandleFunc("POST /v1/scenarios/{name}", s.handleScenarioRun)
-	s.mux.HandleFunc("POST /v2/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v2/query/stream", s.handleQueryStream)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("POST /v1/evaluate", s.handleEvaluate)
+	s.handle("POST /v1/batch", s.handleBatch)
+	s.handle("POST /v1/casestudy", s.handleCaseStudy)
+	s.handle("POST /v1/sweep/pathloss", s.handleSweepPathLoss)
+	s.handle("POST /v1/sweep/thresholds", s.handleSweepThresholds)
+	s.handle("POST /v1/sweep/payload", s.handleSweepPayload)
+	s.handle("POST /v1/simulate", s.handleSimulate)
+	s.handle("GET /v1/experiments", s.handleExperimentList)
+	s.handle("POST /v1/experiments/{name}", s.handleExperimentRun)
+	s.handle("GET /v1/scenarios", s.handleScenarioList)
+	s.handle("GET /v1/scenarios/{name}", s.handleScenarioGolden)
+	s.handle("POST /v1/scenarios/{name}", s.handleScenarioRun)
+	s.handle("POST /v2/query", s.handleQuery)
+	s.handle("POST /v2/query/stream", s.handleQueryStream)
 	return s
 }
 
-// ServeHTTP implements http.Handler: body cap, per-request deadline,
-// in-flight accounting and logging around the route handlers.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+// registerMetrics wires the server-owned families plus the process-wide
+// engine, contention-cache and simulator sources into this server's
+// registry.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.httpRequests = r.CounterVec("wsn_http_requests_total", "HTTP requests by route pattern and status code.", "route", "code")
+	s.httpDuration = r.HistogramVec("wsn_http_request_duration_seconds", "Request wall time by route pattern.", requestDurationBuckets, "route")
+	s.httpInFlight = r.Gauge("wsn_http_requests_in_flight", "Requests currently executing.")
+	s.httpErrors = r.CounterVec("wsn_http_errors_total", "Non-2xx responses by route pattern and class (4xx or 5xx).", "route", "class")
+	s.queryKinds = r.CounterVec("wsn_query_total", "v2 queries accepted, by query kind.", "kind")
+	s.queryTasks = r.Counter("wsn_query_tasks_total", "Plan tasks scheduled by accepted v2 queries.")
 
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	r.GaugeFunc("wsn_worker_pool_capacity", "Worker-token budget shared by all requests.",
+		func() float64 { return float64(s.pool.capacity) })
+	r.GaugeFunc("wsn_worker_pool_in_use", "Worker tokens currently held by requests.",
+		func() float64 { return float64(s.pool.inUse()) })
+	r.RegisterCounter("wsn_worker_acquires_total", "Worker-token pool acquisitions.", &s.pool.acquires)
+	r.RegisterHistogram("wsn_worker_wait_seconds", "Wait for the first worker token.", s.pool.waitHist)
+	r.GaugeFunc("wsn_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	bi := buildinfo.Read()
+	r.ConstGauge("wsn_build_info", "Build identification; value is constant 1.", 1,
+		telemetry.Label{Name: "version", Value: bi.Version},
+		telemetry.Label{Name: "revision", Value: bi.Revision},
+		telemetry.Label{Name: "goversion", Value: bi.GoVersion})
+
+	engine.RegisterMetrics(r)
+	contention.RegisterMetrics(r)
+	netsim.RegisterMetrics(r)
+}
+
+// Metrics exposes the server's telemetry registry (tests and embedders
+// scrape it without HTTP).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// handle registers a route, stamping the pattern into the request's
+// statusWriter so ServeHTTP-level metrics and logs see the matched route
+// (http.Request.Pattern is only set on the handler's copy of the request).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.route = pattern
+		}
+		h(w, r)
+	})
+}
+
+// statusWriter captures the response status, byte count and matched route
+// for the metrics/logging epilogue. It forwards Flush so streaming handlers
+// keep their per-line flushes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	route  string
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// ServeHTTP implements http.Handler: request id, body cap, per-request
+// deadline, in-flight accounting, metrics and structured logging around the
+// route handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := s.ridBase + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	w.Header().Set("X-Request-Id", rid)
+
+	s.stats.begin()
+	s.httpInFlight.Add(1)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		elapsed := time.Since(start)
+		route := sw.route
+		if route == "" {
+			route = "unmatched" // mux-level 404/405, before any registered handler
+		}
+		s.httpRequests.With(route, strconv.Itoa(status)).Inc()
+		s.httpDuration.With(route).Observe(elapsed.Seconds())
+		switch {
+		case status >= 500:
+			s.httpErrors.With(route, "5xx").Inc()
+		case status >= 400:
+			s.httpErrors.With(route, "4xx").Inc()
+		}
+		s.httpInFlight.Add(-1)
+		s.stats.end(status)
+		if s.log != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed.Round(time.Microsecond)))
+		}
+	}()
+
+	r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 	if s.cfg.RequestTimeout > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
-	start := time.Now()
-	s.mux.ServeHTTP(w, r)
-	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	}
+	s.mux.ServeHTTP(sw, r)
 }
 
-// statsResponse is the /v1/stats body.
+// statsResponse is the /v1/stats body. The request block is one atomic
+// snapshot of the requestStats ledger; the worker block reads the limiter's
+// own counters.
 type statsResponse struct {
 	UptimeSeconds Float `json:"uptime_seconds"`
 
-	Requests uint64 `json:"requests_total"`
-	InFlight int64  `json:"requests_in_flight"`
+	Requests     uint64 `json:"requests_total"`
+	InFlight     int64  `json:"requests_in_flight"`
+	Responses4xx uint64 `json:"responses_4xx_total"`
+	Responses5xx uint64 `json:"responses_5xx_total"`
 
-	WorkerBudget int `json:"worker_budget"`
-	WorkersBusy  int `json:"workers_busy"`
+	WorkerBudget     int    `json:"worker_budget"`
+	WorkersBusy      int    `json:"workers_busy"`
+	WorkerAcquires   uint64 `json:"worker_acquires_total"`
+	WorkerWaitTotalS Float  `json:"worker_wait_seconds_total"`
 
 	Cache cacheStatsWire `json:"contention_cache"`
 }
@@ -168,18 +401,45 @@ type cacheStatsWire struct {
 	HitRate   Float  `json:"hit_rate"`
 }
 
+// healthzResponse is the /healthz body: liveness plus build identification.
+type healthzResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds Float  `json:"uptime_seconds"`
+	Version       string `json:"version"`
+	Revision      string `json:"revision,omitempty"`
+	GoVersion     string `json:"goversion"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	bi := buildinfo.Read()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: Float(time.Since(s.started).Seconds()),
+		Version:       bi.Version,
+		Revision:      bi.Revision,
+		GoVersion:     bi.GoVersion,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := contention.CacheStats()
+	requests, inflight, resp4xx, resp5xx := s.stats.snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds: Float(time.Since(s.started).Seconds()),
-		Requests:      s.requests.Load(),
-		InFlight:      s.inflight.Load(),
-		WorkerBudget:  s.pool.capacity,
-		WorkersBusy:   s.pool.inUse(),
+		UptimeSeconds:    Float(time.Since(s.started).Seconds()),
+		Requests:         requests,
+		InFlight:         inflight,
+		Responses4xx:     resp4xx,
+		Responses5xx:     resp5xx,
+		WorkerBudget:     s.pool.capacity,
+		WorkersBusy:      s.pool.inUse(),
+		WorkerAcquires:   s.pool.acquires.Value(),
+		WorkerWaitTotalS: Float(s.pool.waitHist.Sum()),
 		Cache: cacheStatsWire{
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,

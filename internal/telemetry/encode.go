@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the exposition format this
+// package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format: families sorted by name, a # HELP and # TYPE line per
+// family, then its samples in collector order (vec collectors sort their
+// series by label values). The rendering of a given registry state is
+// byte-stable — identical state yields identical bytes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		writeFamily(bw, f.name, f.help, f.typ, collectAll(f))
+	}
+	return bw.Flush()
+}
+
+// collectAll gathers a family's samples across its collectors.
+func collectAll(f *family) []Sample {
+	var out []Sample
+	for _, c := range f.collectors {
+		out = append(out, c.Collect()...)
+	}
+	return out
+}
+
+// Family is the parsed (or parse-equivalent) form of one metric family;
+// ParseText returns these and EncodeFamilies renders them back, so an
+// encode → parse → encode round trip is byte-identity.
+type Family struct {
+	Name    string
+	Help    string
+	Type    Type
+	Samples []Sample
+}
+
+// EncodeFamilies renders families in slice order, in exactly the form
+// WritePrometheus emits.
+func EncodeFamilies(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	for i := range fams {
+		writeFamily(bw, fams[i].Name, fams[i].Help, fams[i].Type, fams[i].Samples)
+	}
+	return bw.Flush()
+}
+
+func writeFamily(bw *bufio.Writer, name, help string, typ Type, samples []Sample) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(escapeHelp(help))
+	bw.WriteByte('\n')
+	bw.WriteString("# TYPE ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(string(typ))
+	bw.WriteByte('\n')
+	for _, s := range samples {
+		bw.WriteString(name)
+		bw.WriteString(s.Suffix)
+		if len(s.Labels) > 0 {
+			bw.WriteByte('{')
+			for i, l := range s.Labels {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(l.Name)
+				bw.WriteString(`="`)
+				bw.WriteString(escapeLabel(l.Value))
+				bw.WriteByte('"')
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(formatFloat(s.Value))
+		bw.WriteByte('\n')
+	}
+}
+
+// formatFloat renders a sample value: shortest round-trip 'g' form, with
+// the infinities spelled the way the exposition format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes travel
+// verbatim in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

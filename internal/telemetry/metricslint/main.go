@@ -1,0 +1,75 @@
+// Command metricslint validates a Prometheus text-format scrape the way CI
+// uses it: parse with telemetry.ParseText (which enforces the structural
+// invariants — HELP/TYPE ordering, series uniqueness, cumulative histogram
+// buckets with le="+Inf"), re-encode, and require byte identity with the
+// input; then require every metric family named on the command line to be
+// present.
+//
+// Usage:
+//
+//	metricslint -f scrape.txt wsn_http_requests_total wsn_netsim_runs_total ...
+//
+// With -f omitted or "-", the scrape is read from stdin. Exit status is
+// non-zero on any violation, with one line per problem on stderr.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dense802154/internal/telemetry"
+)
+
+func main() {
+	file := flag.String("f", "-", "scrape file to lint (\"-\" for stdin)")
+	flag.Parse()
+	if err := run(*file, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, required []string) error {
+	var in io.Reader = os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	fams, err := telemetry.ParseText(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	var re bytes.Buffer
+	if err := telemetry.EncodeFamilies(&re, fams); err != nil {
+		return fmt.Errorf("re-encode: %w", err)
+	}
+	if !bytes.Equal(raw, re.Bytes()) {
+		return fmt.Errorf("re-encoded scrape differs from input (%d vs %d bytes): encoder is not byte-stable", len(re.Bytes()), len(raw))
+	}
+	have := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		have[f.Name] = true
+	}
+	var missing []string
+	for _, name := range required {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required metric families missing from scrape: %v", missing)
+	}
+	fmt.Printf("metricslint: %d families, %d bytes, round-trip stable\n", len(fams), len(raw))
+	return nil
+}

@@ -1,0 +1,377 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads the Prometheus text exposition format this package writes
+// and validates its structural invariants:
+//
+//   - every sample line belongs to a family declared by a preceding
+//     # TYPE line (histogram samples may use the _bucket/_sum/_count
+//     suffixes, nothing else may);
+//   - a family's # HELP precedes its # TYPE and neither repeats;
+//   - no series (name + label set) appears twice;
+//   - every histogram series has a le="+Inf" bucket with cumulative,
+//     non-decreasing bucket counts that agree with its _count.
+//
+// It returns the families in input order with their samples in input
+// order, so EncodeFamilies over the result reproduces the input bytes —
+// the round-trip property the CI scrape lint asserts.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var fams []Family
+	byName := map[string]*Family{}
+	help := map[string]string{}
+	seen := map[string]bool{} // series dedup: name + rendered labels
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			return nil, fmt.Errorf("line %d: blank line", lineNo)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, h, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP line", lineNo)
+			}
+			if _, dup := help[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if _, typed := byName[name]; typed {
+				return nil, fmt.Errorf("line %d: HELP for %s after its TYPE", lineNo, name)
+			}
+			uh, err := unescapeHelp(h)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			help[name] = uh
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, t, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			typ := Type(t)
+			if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram {
+				return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, t, name)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			h, ok := help[name]
+			if !ok {
+				return nil, fmt.Errorf("line %d: TYPE for %s without a preceding HELP", lineNo, name)
+			}
+			fams = append(fams, Family{Name: name, Help: h, Type: typ})
+			byName[name] = &fams[len(fams)-1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+
+		sample, sampleName, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, suffix, err := resolveFamily(byName, sampleName)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		sample.Suffix = suffix
+		key := line[:strings.LastIndexByte(line, ' ')]
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == TypeHistogram {
+			if err := checkHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// resolveFamily finds the declared family a sample name belongs to,
+// honoring the histogram suffixes.
+func resolveFamily(byName map[string]*Family, name string) (*Family, string, error) {
+	if f, ok := byName[name]; ok {
+		if f.Type == TypeHistogram {
+			return nil, "", fmt.Errorf("histogram %s sampled without a suffix", name)
+		}
+		return f, "", nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		if f, ok := byName[base]; ok {
+			if f.Type != TypeHistogram {
+				return nil, "", fmt.Errorf("suffix %s on non-histogram %s", suffix, base)
+			}
+			return f, suffix, nil
+		}
+	}
+	return nil, "", fmt.Errorf("sample %s has no declared family", name)
+}
+
+// parseSampleLine splits `name{labels} value` into its parts.
+func parseSampleLine(line string) (Sample, string, error) {
+	var s Sample
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd <= 0 {
+		return s, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:nameEnd]
+	if !validMetricName(name) {
+		return s, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, "", err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, "", fmt.Errorf("missing value in %q", line)
+	}
+	valStr := rest[1:]
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, "", err
+	}
+	s.Value = v
+	return s, name, nil
+}
+
+// parseLabels scans a {name="value",...} block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(s string) (int, []Label, error) {
+	var labels []Label
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		if len(labels) > 0 {
+			if s[i] != ',' {
+				return 0, nil, fmt.Errorf("expected ',' in label block at %q", s[i:])
+			}
+			i++
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq <= 0 {
+			return 0, nil, fmt.Errorf("malformed label at %q", s[i:])
+		}
+		name := s[i : i+eq]
+		if !validLabelName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated value for label %s", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("unknown escape \\%c in label %s", s[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: name, Value: b.String()})
+	}
+}
+
+// parseValue reads a sample value, accepting the spellings formatFloat
+// emits.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// checkHistogram validates one histogram family: per label set (excluding
+// le), cumulative non-decreasing buckets ending at le="+Inf", whose total
+// matches the series' _count.
+func checkHistogram(f *Family) error {
+	type state struct {
+		last    float64
+		lastLe  float64
+		infSeen bool
+		inf     float64
+		count   *float64
+	}
+	states := map[string]*state{}
+	get := func(labels []Label) *state {
+		var b strings.Builder
+		for _, l := range labels {
+			if l.Name == "le" {
+				continue
+			}
+			b.WriteString(l.Name)
+			b.WriteByte('=')
+			b.WriteString(l.Value)
+			b.WriteByte(';')
+		}
+		k := b.String()
+		st, ok := states[k]
+		if !ok {
+			st = &state{lastLe: math.Inf(-1)}
+			states[k] = st
+		}
+		return st
+	}
+	for _, s := range f.Samples {
+		switch s.Suffix {
+		case "_bucket":
+			le := ""
+			for _, l := range s.Labels {
+				if l.Name == "le" {
+					le = l.Value
+				}
+			}
+			if le == "" {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			st := get(s.Labels)
+			if bound <= st.lastLe {
+				return fmt.Errorf("%s: le bounds not ascending (%q)", f.Name, le)
+			}
+			if s.Value < st.last {
+				return fmt.Errorf("%s: bucket counts not cumulative at le=%q", f.Name, le)
+			}
+			st.lastLe = bound
+			st.last = s.Value
+			if math.IsInf(bound, 1) {
+				st.infSeen = true
+				st.inf = s.Value
+			}
+		case "_count":
+			v := s.Value
+			get(s.Labels).count = &v
+		case "_sum":
+			// No invariant beyond being a float.
+		}
+	}
+	for _, st := range states {
+		if !st.infSeen {
+			return fmt.Errorf("%s: histogram series missing le=\"+Inf\" bucket", f.Name)
+		}
+		if st.count != nil && *st.count != st.inf {
+			return fmt.Errorf("%s: _count %v disagrees with +Inf bucket %v", f.Name, *st.count, st.inf)
+		}
+	}
+	return nil
+}
+
+// unescapeHelp reverses escapeHelp.
+func unescapeHelp(s string) (string, error) {
+	if !strings.Contains(s, "\\") {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("dangling escape in HELP text")
+		}
+		switch s[i+1] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in HELP text", s[i+1])
+		}
+		i++
+	}
+	return b.String(), nil
+}
+
+// validLabelName enforces the Prometheus label-name charset.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
