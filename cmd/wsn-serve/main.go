@@ -28,6 +28,22 @@
 //
 //	wsn-serve -addr :8080 -pprof 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//
+// Distributed execution: -peers turns the server into a coordinator that
+// shards /v2/query plans across a fleet of plain wsn-serve workers and
+// merges the results byte-identically to local execution, surviving worker
+// timeouts, errors and crashes by re-dispatching (see internal/dist):
+//
+//	wsn-serve -addr :8081 &                       # worker
+//	wsn-serve -addr :8082 &                       # worker
+//	wsn-serve -addr :8080 \
+//	  -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// -shard-size, -shard-timeout and -dist-attempts tune the sharding and
+// retry policy; -request-timeout bounds each v2 query end to end (answered
+// with a structured 504 when exceeded). Workers need no flags: any
+// wsn-serve serves /v2/tasks. During drain the server flips /readyz to 503
+// first, so coordinators evict it before the listener closes.
 package main
 
 import (
@@ -42,10 +58,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"dense802154/internal/buildinfo"
+	"dense802154/internal/dist"
 	"dense802154/internal/service"
 )
 
@@ -75,6 +93,13 @@ func main() {
 		logFormat = flag.String("log-format", "text", "request log format: text or json")
 		logLevel  = flag.String("log-level", "info", "request log threshold: debug, info, warn or error")
 		version   = flag.Bool("version", false, "print build version and exit")
+
+		peers        = flag.String("peers", "", "comma-separated worker base URLs; non-empty enables coordinator mode for /v2/query")
+		shardSize    = flag.Int("shard-size", 0, "tasks per dispatched shard (0 = about two shards per worker)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-shard deadline before re-dispatch (0 = 60s)")
+		distAttempts = flag.Int("dist-attempts", 0, "dispatch attempts per index range before local fallback (0 = 4)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-query deadline of the v2 routes, answered 504 (0 = none)")
+		faultExit    = flag.Int("fault-exit-after-tasks", 0, "TESTING: exit(3) after serving this many /v2/tasks lines")
 	)
 	flag.Parse()
 	if *version {
@@ -101,18 +126,37 @@ func main() {
 
 	logger := log.New(os.Stderr, "wsn-serve: ", log.LstdFlags)
 	cfg := service.Config{
-		Workers:        *workers,
-		CacheLimit:     *cacheSize,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
+		Workers:             *workers,
+		CacheLimit:          *cacheSize,
+		RequestTimeout:      *timeout,
+		MaxBodyBytes:        *maxBody,
+		QueryTimeout:        *reqTimeout,
+		FaultExitAfterTasks: *faultExit,
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(handler)
 	}
+	if *peers != "" {
+		var fleet []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				fleet = append(fleet, strings.TrimRight(p, "/"))
+			}
+		}
+		cfg.Distributor = dist.New(dist.Options{
+			Workers:      fleet,
+			ShardSize:    *shardSize,
+			ShardTimeout: *shardTimeout,
+			MaxAttempts:  *distAttempts,
+			Logger:       slog.New(handler),
+		})
+		logger.Printf("coordinator mode: %d workers %v", len(fleet), fleet)
+	}
 
+	app := service.NewServer(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(cfg),
+		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -146,6 +190,7 @@ func main() {
 	}
 
 	logger.Printf("shutting down (drain %v)", *drain)
+	app.SetReady(false) // flip /readyz first so coordinators evict us
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if pprofSrv != nil {

@@ -17,17 +17,27 @@
 //	m := rs.Results[0].Value().(dense802154.Metrics)
 //	// m.AvgPower, m.PrFail, m.Delay, m.Breakdown ...
 //
-// The ten kinds cover the analytical model (evaluate, batch), the §5
+// The eleven kinds cover the analytical model (evaluate, batch), the §5
 // population integration (casestudy), the Fig. 7/8 sweeps (pathloss-sweep,
 // thresholds, payload-sweep), the discrete-event simulator (simulate,
-// replicas), the cross-model catalog (scenario) and the registered paper
-// drivers (experiment). Grid axes are fields, expressed as explicit lists
-// or ranges — the Query type is JSON-shaped, so a request document works
-// verbatim across every transport:
+// replicas), the cross-model catalog (scenario), the registered paper
+// drivers (experiment) and the joint product grid (grid) sweeping several
+// axes at once — losses × payloads × beacon orders × node counts, the
+// paper-scale Fig. 6 surface workload. Grid axes are fields, expressed as
+// explicit lists or ranges — the Query type is JSON-shaped, so a request
+// document works verbatim across every transport:
 //
 //	{"kind":"pathloss-sweep","losses":{"from":55,"to":95,"points":81}}
 //	{"kind":"payload-sweep","payloads":{"values":[20,60,120]}}
 //	{"kind":"replicas","sim":{"nodes":100},"replicas":8}
+//	{"kind":"grid","losses":{"from":55,"to":95,"points":9},
+//	 "payloads":{"values":[20,60,120]},"bos":{"values":[6,7,8]},
+//	 "nodes":{"values":[10,50,200]}}
+//
+// Every kind accepts "timeout_ms", a per-query execution deadline
+// propagated into every task context (locally and across distributed
+// shards); a query either completes with its full deterministic result or
+// fails with a deadline error — the HTTP layer answers a structured 504.
 //
 // Queries validate eagerly (field-scoped errors), compile to a
 // deterministic plan of engine tasks and execute on the shared worker
@@ -101,6 +111,53 @@
 // 127.0.0.1:6060 exposes net/http/pprof on a separate listener for
 // production profiles of the simulation cores.
 //
+// # Distributed execution
+//
+// wsn-serve scales past one machine without changing a single result
+// byte. Any wsn-serve is already a worker: POST /v2/tasks accepts a query
+// plus a task index range and streams the corresponding results back as
+// NDJSON in range order. Starting a server with -peers makes it a
+// coordinator: /v2/query plans shard across the fleet and the returned
+// ranges merge into a ResultSet byte-identical to a local run —
+//
+//	wsn-serve -addr :8081 &                              # worker
+//	wsn-serve -addr :8082 &                              # worker
+//	wsn-serve -addr :8080 -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// The guarantee rests on properties the rest of the repository already
+// enforces: plan tasks are pure functions of (query, index), seeds are
+// pure functions of (root, index), and ResultSet encoding is byte-stable,
+// so any shard is recomputable on any machine at any time. That purity is
+// what makes the robustness policy simple (internal/dist):
+//
+//   - Workers are admitted by a /readyz probe and evicted on failure; an
+//     evicted worker is re-probed on an interval and readmitted when it
+//     answers, and a draining server flips /readyz to 503 before its
+//     listener closes so coordinators stop dispatching into it.
+//   - A shard that times out (-shard-timeout), errors, or disconnects
+//     mid-stream is re-dispatched elsewhere with jittered exponential
+//     backoff (-dist-attempts bounds attempts per range). Streams arrive
+//     in range order, so a connection that died after k lines completed
+//     exactly its first k tasks and only the remainder is recomputed.
+//   - Stragglers — shards stalled past a threshold derived from the
+//     per-task wall times every worker reports — are speculatively
+//     duplicated on an idle worker; duplicates are deduplicated by task
+//     index, so speculation changes latency, never bytes.
+//   - A worker-reported compute error is deterministic by purity and
+//     aborts the query; only transport failures are retried.
+//   - With the whole fleet lost, execution degrades to local and still
+//     completes. Jitter, retries and speculation affect timing only: the
+//     merged bytes equal a single-machine Run in every case.
+//
+// The failure modes are tested through an injectable transport
+// (dist.FaultTransport) that can delay, error, drop a stream mid-shard,
+// or kill a worker at a chosen task index, plus a -fault-exit-after-tasks
+// flag that makes a real worker process exit mid-plan; multi-process
+// integration tests assert merged bytes == local bytes under each, and
+// the wsn_dist_* metric families (dispatches, retries, re-dispatches,
+// straggler speculation, fleet membership) expose the same machinery
+// operationally.
+//
 // # Observability
 //
 // GET /metrics serves the server's telemetry in the Prometheus text format
@@ -112,6 +169,7 @@
 //	wsn_http_request_duration_seconds{route}    histogram  request wall time
 //	wsn_http_requests_in_flight                 gauge      requests currently executing
 //	wsn_http_errors_total{route,class}          counter    non-2xx responses (class 4xx|5xx)
+//	wsn_http_panics_total                       counter    handler/collector panics recovered
 //	wsn_query_total{kind}                       counter    v2 queries by kind
 //	wsn_query_tasks_total                       counter    plan tasks scheduled by v2 queries
 //	wsn_worker_pool_capacity                    gauge      worker-token budget
@@ -134,6 +192,18 @@
 //	wsn_netsim_backoffs_total                   counter    CSMA/CA backoff draws
 //	wsn_netsim_prune_fallback_total             counter    out-of-order medium full scans
 //	wsn_netsim_heap_depth_max                   gauge      deepest event heap seen
+//	wsn_dist_queries_total                      counter    queries run through the coordinator
+//	wsn_dist_shards_dispatched_total            counter    shard dispatches incl. retries/speculation
+//	wsn_dist_retries_total                      counter    shard attempts after the first
+//	wsn_dist_redispatch_total                   counter    ranges re-dispatched after worker failure
+//	wsn_dist_straggler_redispatch_total         counter    speculative duplicates of stalled shards
+//	wsn_dist_tasks_remote_total                 counter    tasks accepted from workers
+//	wsn_dist_tasks_local_total                  counter    tasks computed locally
+//	wsn_dist_local_fallback_total               counter    queries degraded to local execution
+//	wsn_dist_worker_failures_total              counter    dispatch/stream/probe failures observed
+//	wsn_dist_tasks_served_total                 counter    /v2/tasks lines served to coordinators
+//	wsn_dist_workers_ready                      gauge      workers currently admitted
+//	wsn_dist_workers_evicted                    gauge      workers pending readmission
 //
 // A minimal Prometheus scrape config:
 //

@@ -1,0 +1,690 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"time"
+
+	"dense802154/internal/engine"
+	"dense802154/internal/query"
+)
+
+// Options configures a Coordinator. The zero value of every field selects a
+// sensible default; only Workers is required for distribution to engage.
+type Options struct {
+	// Workers lists the fleet's base URLs (e.g. "http://10.0.0.7:8080").
+	// Empty means no fleet: every query runs locally.
+	Workers []string
+	// Transport carries shards (nil ⇒ HTTPTransport). Tests substitute a
+	// FaultTransport here.
+	Transport Transport
+	// ShardSize is the task count per dispatched shard (0 ⇒ the plan is cut
+	// into about two shards per admitted worker).
+	ShardSize int
+	// MaxAttempts bounds dispatch attempts per index range before the range
+	// falls back to local execution (0 ⇒ 4).
+	MaxAttempts int
+	// RetryBase/RetryCap shape the exponential backoff between attempts of
+	// one range: attempt k waits ~RetryBase·2^(k-1), jittered, capped at
+	// RetryCap (0 ⇒ 50ms / 2s). Jitter affects timing only, never results.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// ShardTimeout is the per-shard deadline: a dispatch that has not
+	// finished streaming by then is abandoned and its remainder
+	// re-dispatched (0 ⇒ 60s).
+	ShardTimeout time.Duration
+	// StragglerFactor and StragglerMin set the speculation threshold: a
+	// shard that has not progressed for max(StragglerMin, StragglerFactor ×
+	// the EWMA of observed per-task wall times) is speculatively duplicated
+	// on an idle worker (0 ⇒ 4 / 250ms). Duplicates are deduplicated by
+	// task index, so speculation never changes bytes.
+	StragglerFactor float64
+	StragglerMin    time.Duration
+	// ProbeTimeout bounds one readiness probe (0 ⇒ 2s); ReprobeAfter is the
+	// interval between readmission probes of an evicted worker (0 ⇒ 5s).
+	ProbeTimeout time.Duration
+	ReprobeAfter time.Duration
+	// Logger receives dispatch/failure/eviction events (nil ⇒ discard).
+	Logger *slog.Logger
+	// RetrySeed seeds the backoff jitter (0 ⇒ 1). Deterministic so tests
+	// can pin schedules; results never depend on it.
+	RetrySeed int64
+}
+
+// Coordinator shards compiled plans across a worker fleet and merges the
+// returned shards into ResultSets byte-identical to local execution. It is
+// safe for concurrent Distribute calls.
+type Coordinator struct {
+	opts Options
+}
+
+// New returns a Coordinator with defaults applied over opts.
+func New(opts Options) *Coordinator {
+	if opts.Transport == nil {
+		opts.Transport = &HTTPTransport{}
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryCap <= 0 {
+		opts.RetryCap = 2 * time.Second
+	}
+	if opts.ShardTimeout <= 0 {
+		opts.ShardTimeout = 60 * time.Second
+	}
+	if opts.StragglerFactor <= 0 {
+		opts.StragglerFactor = 4
+	}
+	if opts.StragglerMin <= 0 {
+		opts.StragglerMin = 250 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	if opts.ReprobeAfter <= 0 {
+		opts.ReprobeAfter = 5 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Coordinator{opts: opts}
+}
+
+// Fleet reports the configured worker URLs.
+func (c *Coordinator) Fleet() []string { return append([]string(nil), c.opts.Workers...) }
+
+// message kinds of the coordinator's single-threaded main loop.
+const (
+	msgLine = iota
+	msgEnd
+	msgProbe
+)
+
+type msg struct {
+	kind   int
+	fid    int
+	line   TaskLine
+	err    error
+	worker string
+}
+
+// span is a pending index range awaiting dispatch.
+type span struct {
+	from, to   int
+	attempts   int
+	notBefore  time.Time
+	lastWorker string
+}
+
+// flight is one in-progress dispatch (remote shard or local fallback).
+type flight struct {
+	id         int
+	worker     string // "" ⇒ local execution
+	from, to   int
+	next       int // next expected plan index (stream is in range order)
+	attempts   int
+	speculated bool
+	cancel     context.CancelFunc
+	lastMove   time.Time
+}
+
+type workerState struct {
+	busy        bool
+	evicted     bool
+	consecFails int
+}
+
+// distRun is the per-Distribute state machine. All fields are owned by the
+// main loop; flight and probe goroutines communicate only through ch.
+type distRun struct {
+	c     *Coordinator
+	ctx   context.Context
+	q     query.Query
+	plan  *query.Plan
+	local int
+	yield func(query.TaskResult) error
+
+	n         int
+	results   []query.TaskResult
+	walls     []float64
+	have      []bool
+	haveCount int
+	nextYield int
+	start     time.Time
+
+	ch       chan msg
+	pending  []span
+	workers  map[string]*workerState
+	flights  map[int]*flight
+	nextFID  int
+	rng      *rand.Rand
+	ewma     float64 // EWMA of observed per-task wall times, ms
+	fellBack bool
+}
+
+// Distribute executes plan, sharding it across the fleet when it is
+// shardable and a fleet exists, and returns a ResultSet byte-identical to
+// plan.Execute run locally. yield, when non-nil, receives every TaskResult
+// in plan order exactly once (regardless of which machine computed it); a
+// yield error cancels the query. Worker failures of every kind — dispatch
+// errors, mid-stream disconnects, timeouts, death — are retried with
+// exponential backoff and re-dispatched elsewhere; with the whole fleet
+// lost, execution degrades to local and still completes.
+func (c *Coordinator) Distribute(ctx context.Context, q query.Query, plan *query.Plan, localWorkers int, yield func(query.TaskResult) error) (*query.ResultSet, error) {
+	if !plan.Shardable() || len(c.opts.Workers) == 0 {
+		return plan.Execute(ctx, localWorkers, yield)
+	}
+	if plan.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, plan.Timeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	seed := c.opts.RetrySeed
+	if seed == 0 {
+		seed = 1
+	}
+	n := plan.NumTasks()
+	r := &distRun{
+		c: c, ctx: ctx, q: q, plan: plan, local: localWorkers, yield: yield,
+		n:       n,
+		results: make([]query.TaskResult, n),
+		walls:   make([]float64, n),
+		have:    make([]bool, n),
+		start:   time.Now(),
+		ch:      make(chan msg, 256),
+		workers: make(map[string]*workerState),
+		flights: make(map[int]*flight),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	return r.run()
+}
+
+func (r *distRun) run() (*query.ResultSet, error) {
+	r.admit()
+	defer func() {
+		for _, ws := range r.workers {
+			if ws.evicted {
+				WorkersEvicted.Add(-1)
+			} else {
+				WorkersReady.Add(-1)
+			}
+		}
+	}()
+	if r.readyCount() == 0 {
+		// No worker admitted: degrade to plain local execution.
+		LocalFallbackTotal.Inc()
+		r.c.opts.Logger.Warn("dist: no workers ready, running locally", "fleet", len(r.c.opts.Workers))
+		rs, err := r.plan.Execute(r.ctx, r.local, r.yield)
+		if err == nil {
+			TasksLocalTotal.Add(uint64(r.n))
+		}
+		return rs, err
+	}
+	QueriesTotal.Inc()
+
+	shard := r.c.opts.ShardSize
+	if shard <= 0 {
+		shard = max(1, (r.n+2*r.readyCount()-1)/(2*r.readyCount()))
+	}
+	for from := 0; from < r.n; from += shard {
+		r.pending = append(r.pending, span{from: from, to: min(from+shard, r.n)})
+	}
+
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	r.schedule()
+	for r.haveCount < r.n {
+		select {
+		case <-r.ctx.Done():
+			return nil, r.ctx.Err()
+		case m := <-r.ch:
+			var err error
+			switch m.kind {
+			case msgLine:
+				err = r.onLine(m)
+			case msgEnd:
+				err = r.onEnd(m)
+			case msgProbe:
+				r.onProbe(m)
+			}
+			if err != nil {
+				return nil, err
+			}
+		case <-ticker.C:
+			r.checkStragglers()
+		}
+		r.schedule()
+	}
+	for _, f := range r.flights {
+		f.cancel()
+	}
+	rs, err := r.plan.Assemble(r.results)
+	if err != nil {
+		return nil, err
+	}
+	if r.plan.Trace {
+		labels := r.plan.Labels()
+		spans := make([]query.TaskSpanWire, r.n)
+		for i := range spans {
+			spans[i] = query.TaskSpanWire{Index: i, Label: labels[i], WallMS: query.Float(r.walls[i])}
+		}
+		rs.Trace = &query.PlanTraceWire{
+			Kind:    r.plan.Kind,
+			Workers: engine.ResolveWorkers(r.local),
+			Tasks:   r.n,
+			WallMS:  query.Float(time.Since(r.start).Seconds() * 1e3),
+			Spans:   spans,
+		}
+	}
+	return rs, nil
+}
+
+// admit probes every configured worker in parallel; failures start evicted
+// with a readmission loop already running.
+func (r *distRun) admit() {
+	type probe struct {
+		worker string
+		err    error
+	}
+	ch := make(chan probe, len(r.c.opts.Workers))
+	for _, w := range r.c.opts.Workers {
+		go func(w string) {
+			pctx, pcancel := probeCtx(r.ctx, r.c.opts.ProbeTimeout)
+			defer pcancel()
+			ch <- probe{w, r.c.opts.Transport.Ready(pctx, w)}
+		}(w)
+	}
+	for range r.c.opts.Workers {
+		p := <-ch
+		ws := &workerState{}
+		r.workers[p.worker] = ws
+		if p.err != nil {
+			WorkerFailuresTotal.Inc()
+			WorkersEvicted.Add(1)
+			ws.evicted = true
+			r.c.opts.Logger.Warn("dist: worker not admitted", "worker", p.worker, "err", p.err)
+			r.reprobe(p.worker)
+		} else {
+			WorkersReady.Add(1)
+		}
+	}
+}
+
+func (r *distRun) readyCount() int {
+	n := 0
+	for _, ws := range r.workers {
+		if !ws.evicted {
+			n++
+		}
+	}
+	return n
+}
+
+// pickWorker returns an idle admitted worker, preferring one other than
+// avoid, or "" when none is idle. Iteration over the fleet slice (not the
+// map) keeps the choice deterministic given the same state.
+func (r *distRun) pickWorker(avoid string) string {
+	fallback := ""
+	for _, w := range r.c.opts.Workers {
+		ws := r.workers[w]
+		if ws == nil || ws.evicted || ws.busy {
+			continue
+		}
+		if w != avoid {
+			return w
+		}
+		fallback = w
+	}
+	return fallback
+}
+
+// trim shrinks a span past results that arrived meanwhile (speculative
+// duplicates are deduplicated by index, so edges of a requeued range may
+// already be present).
+func (r *distRun) trim(s span) span {
+	for s.from < s.to && r.have[s.from] {
+		s.from++
+	}
+	for s.to > s.from && r.have[s.to-1] {
+		s.to--
+	}
+	return s
+}
+
+// schedule is the dispatch pass run after every event: each pending span
+// goes to an idle worker, to local execution when its attempts are
+// exhausted or the fleet is lost, or stays pending until its backoff
+// expires.
+func (r *distRun) schedule() {
+	now := time.Now()
+	var still []span
+	for _, s := range r.pending {
+		s = r.trim(s)
+		if s.from >= s.to {
+			continue
+		}
+		switch {
+		case s.attempts >= r.c.opts.MaxAttempts || r.readyCount() == 0:
+			if !r.fellBack {
+				r.fellBack = true
+				LocalFallbackTotal.Inc()
+			}
+			r.c.opts.Logger.Warn("dist: range falling back to local execution",
+				"from", s.from, "to", s.to, "attempts", s.attempts, "ready", r.readyCount())
+			r.launchLocal(s)
+		case now.Before(s.notBefore):
+			still = append(still, s)
+		default:
+			w := r.pickWorker(s.lastWorker)
+			if w == "" {
+				still = append(still, s)
+				continue
+			}
+			r.launchRemote(w, s, false)
+		}
+	}
+	r.pending = still
+}
+
+func (r *distRun) launchRemote(worker string, s span, speculative bool) {
+	fid := r.nextFID
+	r.nextFID++
+	fctx, fcancel := context.WithTimeout(r.ctx, r.c.opts.ShardTimeout)
+	r.flights[fid] = &flight{
+		id: fid, worker: worker, from: s.from, to: s.to, next: s.from,
+		attempts: s.attempts, speculated: speculative, cancel: fcancel, lastMove: time.Now(),
+	}
+	r.workers[worker].busy = true
+	ShardsDispatchedTotal.Inc()
+	if s.attempts > 0 && !speculative {
+		RetriesTotal.Inc()
+	}
+	r.c.opts.Logger.Debug("dist: dispatch", "worker", worker, "from", s.from, "to", s.to,
+		"attempt", s.attempts, "speculative", speculative)
+	req := TaskRequest{Query: r.q, From: s.from, To: s.to}
+	go func() {
+		defer fcancel()
+		stream, err := r.c.opts.Transport.Send(fctx, worker, req)
+		if err != nil {
+			r.post(msg{kind: msgEnd, fid: fid, err: err})
+			return
+		}
+		defer stream.Close()
+		for {
+			line, err := stream.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					// EOF before the terminal done line is a disconnect.
+					err = io.ErrUnexpectedEOF
+				}
+				r.post(msg{kind: msgEnd, fid: fid, err: err})
+				return
+			}
+			if line.Done {
+				r.post(msg{kind: msgEnd, fid: fid})
+				return
+			}
+			r.post(msg{kind: msgLine, fid: fid, line: line})
+			if line.Error != "" {
+				return // terminal compute-error line; the main loop aborts
+			}
+		}
+	}()
+}
+
+func (r *distRun) launchLocal(s span) {
+	fid := r.nextFID
+	r.nextFID++
+	fctx, fcancel := context.WithCancel(r.ctx)
+	r.flights[fid] = &flight{id: fid, worker: "", from: s.from, to: s.to, next: s.from, cancel: fcancel, lastMove: time.Now()}
+	go func() {
+		defer fcancel()
+		err := r.plan.ExecuteRange(fctx, r.local, s.from, s.to, func(tr query.TaskResult, wallMS float64) error {
+			res := tr
+			m := msg{kind: msgLine, fid: fid, line: TaskLine{Index: tr.Index, WallMS: wallMS, Result: &res}}
+			select {
+			case r.ch <- m:
+				return nil
+			case <-fctx.Done():
+				return fctx.Err()
+			}
+		})
+		r.post(msg{kind: msgEnd, fid: fid, err: err})
+	}()
+}
+
+func (r *distRun) post(m msg) {
+	select {
+	case r.ch <- m:
+	case <-r.ctx.Done():
+	}
+}
+
+func (r *distRun) onLine(m msg) error {
+	f := r.flights[m.fid]
+	if f == nil {
+		return nil // flight already retired
+	}
+	line := m.line
+	if line.Error != "" {
+		// A worker-reported task error is a deterministic compute failure:
+		// re-running the same pure task elsewhere fails identically, so the
+		// query aborts instead of burning retries.
+		return errors.New(line.Error)
+	}
+	if line.Result == nil || line.Index != f.next || line.Index >= f.to {
+		r.failFlight(f, fmt.Errorf("dist: worker %s broke stream order (got index %d, want %d)", f.worker, line.Index, f.next))
+		return nil
+	}
+	f.next++
+	f.lastMove = time.Now()
+	if line.WallMS > 0 {
+		if r.ewma == 0 {
+			r.ewma = line.WallMS
+		} else {
+			r.ewma = 0.8*r.ewma + 0.2*line.WallMS
+		}
+	}
+	i := line.Index
+	if !r.have[i] {
+		r.have[i] = true
+		r.results[i] = *line.Result
+		r.walls[i] = line.WallMS
+		r.haveCount++
+		if f.worker == "" {
+			TasksLocalTotal.Inc()
+		} else {
+			TasksRemoteTotal.Inc()
+		}
+		for r.nextYield < r.n && r.have[r.nextYield] {
+			if r.yield != nil {
+				if err := r.yield(r.results[r.nextYield]); err != nil {
+					return err
+				}
+			}
+			r.nextYield++
+		}
+	}
+	return nil
+}
+
+func (r *distRun) onEnd(m msg) error {
+	f := r.flights[m.fid]
+	if f == nil {
+		return nil
+	}
+	if f.worker == "" {
+		delete(r.flights, m.fid)
+		if m.err != nil {
+			if r.ctx.Err() != nil {
+				return r.ctx.Err()
+			}
+			return m.err // deterministic local compute failure
+		}
+		return nil
+	}
+	err := m.err
+	if err == nil && f.next < f.to {
+		err = fmt.Errorf("dist: worker %s ended shard early at %d of [%d,%d)", f.worker, f.next, f.from, f.to)
+	}
+	if err == nil {
+		delete(r.flights, m.fid)
+		ws := r.workers[f.worker]
+		ws.busy = false
+		ws.consecFails = 0
+		return nil
+	}
+	if r.ctx.Err() != nil {
+		return r.ctx.Err()
+	}
+	r.failFlight(f, err)
+	return nil
+}
+
+// failFlight retires a remote flight after a transport-level failure:
+// counts it, applies the eviction policy, and requeues whatever the flight
+// had not yet delivered for re-dispatch elsewhere.
+func (r *distRun) failFlight(f *flight, err error) {
+	delete(r.flights, f.id)
+	f.cancel()
+	ws := r.workers[f.worker]
+	ws.busy = false
+	WorkerFailuresTotal.Inc()
+	r.c.opts.Logger.Warn("dist: shard failed", "worker", f.worker,
+		"from", f.from, "to", f.to, "progress", f.next-f.from, "err", err)
+	if f.next == f.from {
+		// Zero progress: the worker is unreachable or dying — evict now.
+		r.evict(f.worker)
+	} else {
+		ws.consecFails++
+		if ws.consecFails >= 2 {
+			r.evict(f.worker)
+		}
+	}
+	r.requeueRemainder(f)
+}
+
+// requeueRemainder turns the undelivered part of a failed flight into
+// pending spans. The stream was in range order, so everything before f.next
+// arrived; of the rest, runs already covered by results or by other active
+// flights (speculation) are skipped.
+func (r *distRun) requeueRemainder(f *flight) {
+	covered := func(i int) bool {
+		for _, g := range r.flights {
+			if i >= g.next && i < g.to {
+				return true
+			}
+		}
+		return false
+	}
+	attempts := f.attempts + 1
+	notBefore := time.Now().Add(r.backoff(attempts))
+	i := f.next
+	for i < f.to {
+		if r.have[i] || covered(i) {
+			i++
+			continue
+		}
+		j := i
+		for j < f.to && !r.have[j] && !covered(j) {
+			j++
+		}
+		r.pending = append(r.pending, span{from: i, to: j, attempts: attempts, notBefore: notBefore, lastWorker: f.worker})
+		RedispatchTotal.Inc()
+		i = j
+	}
+}
+
+// backoff returns the jittered exponential delay before attempt k of a
+// range: base·2^(k-1) capped at RetryCap, jittered into [d/2, d].
+func (r *distRun) backoff(attempt int) time.Duration {
+	d := r.c.opts.RetryBase
+	for k := 1; k < attempt && d < r.c.opts.RetryCap; k++ {
+		d *= 2
+	}
+	d = min(d, r.c.opts.RetryCap)
+	return d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+}
+
+func (r *distRun) evict(worker string) {
+	ws := r.workers[worker]
+	if ws.evicted {
+		return
+	}
+	ws.evicted = true
+	WorkersReady.Add(-1)
+	WorkersEvicted.Add(1)
+	r.c.opts.Logger.Warn("dist: worker evicted", "worker", worker)
+	r.reprobe(worker)
+}
+
+// reprobe runs the readmission loop for an evicted worker: probe every
+// ReprobeAfter until the worker answers ready or the query ends.
+func (r *distRun) reprobe(worker string) {
+	go func() {
+		for {
+			select {
+			case <-r.ctx.Done():
+				return
+			case <-time.After(r.c.opts.ReprobeAfter):
+			}
+			pctx, pcancel := probeCtx(r.ctx, r.c.opts.ProbeTimeout)
+			err := r.c.opts.Transport.Ready(pctx, worker)
+			pcancel()
+			if err == nil {
+				r.post(msg{kind: msgProbe, worker: worker})
+				return
+			}
+		}
+	}()
+}
+
+func (r *distRun) onProbe(m msg) {
+	ws := r.workers[m.worker]
+	if ws == nil || !ws.evicted {
+		return
+	}
+	ws.evicted = false
+	ws.consecFails = 0
+	WorkersEvicted.Add(-1)
+	WorkersReady.Add(1)
+	r.c.opts.Logger.Info("dist: worker readmitted", "worker", m.worker)
+}
+
+// checkStragglers speculatively duplicates shards that have stalled for
+// longer than the straggler threshold derived from observed per-task wall
+// times. The duplicate races the original; index-level deduplication keeps
+// the merged bytes identical either way.
+func (r *distRun) checkStragglers() {
+	threshold := time.Duration(r.c.opts.StragglerFactor * r.ewma * float64(time.Millisecond))
+	threshold = max(threshold, r.c.opts.StragglerMin)
+	now := time.Now()
+	for _, f := range r.flights {
+		if f.worker == "" || f.speculated || now.Sub(f.lastMove) <= threshold {
+			continue
+		}
+		s := r.trim(span{from: f.next, to: f.to, lastWorker: f.worker, attempts: f.attempts})
+		if s.from >= s.to {
+			continue
+		}
+		w := r.pickWorker(f.worker)
+		if w == "" || w == f.worker {
+			continue
+		}
+		f.speculated = true
+		StragglerRedispatchTotal.Inc()
+		r.c.opts.Logger.Info("dist: speculating straggler shard", "worker", f.worker,
+			"spare", w, "from", s.from, "to", s.to)
+		r.launchRemote(w, s, true)
+	}
+}

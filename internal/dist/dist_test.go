@@ -1,0 +1,384 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dense802154/internal/dist"
+	"dense802154/internal/query"
+	"dense802154/internal/service"
+)
+
+// fleet boots n in-process worker servers and returns their base URLs.
+func fleet(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(service.NewServer(service.Config{Workers: 2}))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// gridQuery is the standard multi-task workload of these tests: a 6-point
+// product sweep, cheap per point.
+func gridQuery() query.Query {
+	seed := int64(3)
+	return query.Query{
+		Kind:     query.KindGrid,
+		Params:   &query.ParamsWire{Contention: &query.ContentionWire{Superframes: 8, Seed: &seed}},
+		Losses:   &query.Axis{Values: []query.Float{55, 70, 85}},
+		Payloads: &query.IntAxis{Values: []int{20, 100}},
+	}
+}
+
+func replicasQuery() query.Query {
+	return query.Query{
+		Kind:     query.KindReplicas,
+		Sim:      &query.SimConfigWire{Nodes: intPtr(10), Superframes: intPtr(4)},
+		Replicas: 6,
+	}
+}
+
+func intPtr(v int) *int { return &v }
+
+// localBytes is the ground truth every distributed run must reproduce.
+func localBytes(t *testing.T, q query.Query) []byte {
+	t.Helper()
+	rs, err := query.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// distribute runs q through c and returns the encoded bytes.
+func distribute(t *testing.T, c *dist.Coordinator, q query.Query) []byte {
+	t.Helper()
+	plan, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Distribute(context.Background(), q, plan, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// fastOpts keeps retry/probe timing test-friendly; fault scenarios override
+// what they need.
+func fastOpts(workers []string, transport dist.Transport) dist.Options {
+	return dist.Options{
+		Workers:      workers,
+		Transport:    transport,
+		ShardSize:    2,
+		RetryBase:    2 * time.Millisecond,
+		RetryCap:     20 * time.Millisecond,
+		ShardTimeout: 10 * time.Second,
+		ReprobeAfter: 20 * time.Millisecond,
+	}
+}
+
+type counterSnap struct {
+	redispatch, retries, straggler, fallback, failures, remote, local uint64
+}
+
+func snap() counterSnap {
+	return counterSnap{
+		redispatch: dist.RedispatchTotal.Value(),
+		retries:    dist.RetriesTotal.Value(),
+		straggler:  dist.StragglerRedispatchTotal.Value(),
+		fallback:   dist.LocalFallbackTotal.Value(),
+		failures:   dist.WorkerFailuresTotal.Value(),
+		remote:     dist.TasksRemoteTotal.Value(),
+		local:      dist.TasksLocalTotal.Value(),
+	}
+}
+
+func TestDistributeMatchesLocal(t *testing.T) {
+	urls := fleet(t, 2)
+	c := dist.New(fastOpts(urls, nil))
+	for name, q := range map[string]query.Query{"grid": gridQuery(), "replicas": replicasQuery()} {
+		want := localBytes(t, q)
+		got := distribute(t, c, q)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: distributed bytes deviate from local run\n got %s\nwant %s", name, got, want)
+		}
+	}
+}
+
+func TestDistributeFleetSizeIdentity(t *testing.T) {
+	// Workers=1 fleet and Workers=3 fleet must both match the local bytes:
+	// distribution topology is a pure scheduling concern.
+	q := gridQuery()
+	want := localBytes(t, q)
+	for _, n := range []int{1, 3} {
+		c := dist.New(fastOpts(fleet(t, n), nil))
+		if got := distribute(t, c, q); !bytes.Equal(got, want) {
+			t.Fatalf("fleet of %d deviates from local bytes", n)
+		}
+	}
+}
+
+func TestDistributeYieldsPlanOrder(t *testing.T) {
+	q := gridQuery()
+	plan, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dist.New(fastOpts(fleet(t, 2), nil))
+	var order []int
+	if _, err := c.Distribute(context.Background(), q, plan, 2, func(tr query.TaskResult) error {
+		order = append(order, tr.Index)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != plan.NumTasks() {
+		t.Fatalf("yielded %d of %d", len(order), plan.NumTasks())
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("yield order %v not plan order", order)
+		}
+	}
+}
+
+func TestDistributeNonShardableRunsLocal(t *testing.T) {
+	seed := int64(3)
+	q := query.Query{Kind: query.KindEvaluate,
+		Params: &query.ParamsWire{Contention: &query.ContentionWire{Superframes: 8, Seed: &seed}}}
+	want := localBytes(t, q)
+	// A transport that fails every call proves no network touch happens.
+	c := dist.New(fastOpts([]string{"http://127.0.0.1:1"}, downTransport{}))
+	if got := distribute(t, c, q); !bytes.Equal(got, want) {
+		t.Fatal("non-shardable query deviates from local run")
+	}
+}
+
+// downTransport fails every call, as a fully unreachable fleet would.
+type downTransport struct{}
+
+func (downTransport) Send(context.Context, string, dist.TaskRequest) (dist.LineStream, error) {
+	return nil, errors.New("worker down")
+}
+func (downTransport) Ready(context.Context, string) error {
+	return errors.New("worker down")
+}
+
+// The four injected failure modes of the tentpole: each must leave the
+// merged bytes identical to a local run and move the right counters.
+
+func TestDistributeSurvivesWorkerKill(t *testing.T) {
+	urls := fleet(t, 2)
+	ft := dist.NewFaultTransport(&dist.HTTPTransport{},
+		dist.Fault{Worker: urls[0], AtIndex: 1, Kind: dist.FaultKill})
+	q := gridQuery()
+	before := snap()
+	c := dist.New(fastOpts(urls, ft))
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate after worker kill")
+	}
+	after := snap()
+	if after.redispatch == before.redispatch {
+		t.Fatal("kill did not re-dispatch")
+	}
+	if after.failures == before.failures {
+		t.Fatal("kill not counted as a worker failure")
+	}
+}
+
+func TestDistributeSurvivesDispatchErrors(t *testing.T) {
+	urls := fleet(t, 2)
+	ft := dist.NewFaultTransport(&dist.HTTPTransport{},
+		dist.Fault{Worker: urls[1], AtIndex: -1, Kind: dist.FaultError, Times: 2})
+	q := gridQuery()
+	before := snap()
+	c := dist.New(fastOpts(urls, ft))
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate after dispatch errors")
+	}
+	if after := snap(); after.redispatch == before.redispatch {
+		t.Fatal("dispatch errors did not re-dispatch")
+	}
+}
+
+func TestDistributeSurvivesMidStreamDrop(t *testing.T) {
+	urls := fleet(t, 2)
+	// Drop each worker's stream once mid-shard: partial results must be
+	// kept and only the remainders re-dispatched.
+	ft := dist.NewFaultTransport(&dist.HTTPTransport{},
+		dist.Fault{Worker: urls[0], AtIndex: 1, Kind: dist.FaultDrop},
+		dist.Fault{Worker: urls[1], AtIndex: 3, Kind: dist.FaultDrop})
+	q := gridQuery()
+	before := snap()
+	c := dist.New(fastOpts(urls, ft))
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate after mid-stream drops")
+	}
+	after := snap()
+	if after.redispatch == before.redispatch {
+		t.Fatal("drops did not re-dispatch")
+	}
+	if after.retries == before.retries {
+		t.Fatal("re-dispatched ranges not counted as retries")
+	}
+}
+
+func TestDistributeSpeculatesStragglers(t *testing.T) {
+	urls := fleet(t, 2)
+	// Worker 0 stalls for a long time before delivering its second line;
+	// the coordinator must duplicate the rest of the shard on worker 1 and
+	// still merge exactly one result per index.
+	ft := dist.NewFaultTransport(&dist.HTTPTransport{},
+		dist.Fault{Worker: urls[0], AtIndex: 1, Kind: dist.FaultDelay, Delay: 2 * time.Second})
+	q := gridQuery()
+	opts := fastOpts(urls, ft)
+	opts.StragglerMin = 30 * time.Millisecond
+	opts.StragglerFactor = 1
+	before := snap()
+	c := dist.New(opts)
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate under straggler speculation")
+	}
+	if after := snap(); after.straggler == before.straggler {
+		t.Fatal("straggler was not speculated")
+	}
+}
+
+func TestDistributeFleetLostFallsBackLocal(t *testing.T) {
+	urls := fleet(t, 2)
+	// Both workers admit fine but every dispatch fails: the coordinator
+	// must evict the fleet and finish the query locally.
+	ft := dist.NewFaultTransport(&dist.HTTPTransport{},
+		dist.Fault{Worker: urls[0], AtIndex: -1, Kind: dist.FaultError, Times: 100},
+		dist.Fault{Worker: urls[1], AtIndex: -1, Kind: dist.FaultError, Times: 100})
+	q := gridQuery()
+	before := snap()
+	c := dist.New(fastOpts(urls, ft))
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate after local fallback")
+	}
+	after := snap()
+	if after.fallback == before.fallback {
+		t.Fatal("fleet loss did not count a local fallback")
+	}
+	if after.local == before.local {
+		t.Fatal("no tasks were computed locally")
+	}
+}
+
+func TestDistributeNoWorkersReadyRunsLocal(t *testing.T) {
+	// Admission finds nobody: Distribute must still answer, locally.
+	q := gridQuery()
+	before := snap()
+	c := dist.New(fastOpts([]string{"http://127.0.0.1:1", "http://127.0.0.1:2"}, downTransport{}))
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate when no worker admits")
+	}
+	if after := snap(); after.fallback == before.fallback {
+		t.Fatal("empty fleet did not count a local fallback")
+	}
+}
+
+// scriptedTransport serves one scripted line sequence per Send, for
+// protocol-level coordinator behavior no real worker exhibits.
+type scriptedTransport struct{ lines []dist.TaskLine }
+
+func (s scriptedTransport) Send(context.Context, string, dist.TaskRequest) (dist.LineStream, error) {
+	return &scriptedStream{lines: s.lines}, nil
+}
+func (s scriptedTransport) Ready(context.Context, string) error { return nil }
+
+type scriptedStream struct {
+	lines []dist.TaskLine
+	i     int
+}
+
+func (s *scriptedStream) Next() (dist.TaskLine, error) {
+	if s.i >= len(s.lines) {
+		return dist.TaskLine{}, io.EOF
+	}
+	l := s.lines[s.i]
+	s.i++
+	return l, nil
+}
+func (s *scriptedStream) Close() error { return nil }
+
+func TestDistributeAbortsOnWorkerReportedError(t *testing.T) {
+	// A worker-reported task error is deterministic: the coordinator must
+	// abort the query with it instead of retrying elsewhere.
+	q := gridQuery()
+	plan, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dist.New(fastOpts([]string{"http://w1"}, scriptedTransport{lines: []dist.TaskLine{
+		{Error: "model exploded deterministically"},
+	}}))
+	_, err = c.Distribute(context.Background(), q, plan, 2, nil)
+	if err == nil || !strings.Contains(err.Error(), "model exploded deterministically") {
+		t.Fatalf("err = %v, want the worker-reported error", err)
+	}
+}
+
+func TestDistributeHonorsQueryTimeout(t *testing.T) {
+	q := replicasQuery()
+	q.Sim = &query.SimConfigWire{Nodes: intPtr(40), Superframes: intPtr(50)}
+	q.Replicas = 40
+	q.TimeoutMS = 1
+	plan, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A transport that never answers: only the deadline can end this.
+	c := dist.New(fastOpts([]string{"http://w1"}, hangingTransport{}))
+	_, err = c.Distribute(context.Background(), q, plan, 2, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+type hangingTransport struct{}
+
+func (hangingTransport) Send(ctx context.Context, _ string, _ dist.TaskRequest) (dist.LineStream, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (hangingTransport) Ready(ctx context.Context, _ string) error { return nil }
+
+func TestDistributeWorkerReadmission(t *testing.T) {
+	urls := fleet(t, 2)
+	// Worker 0 dies at dispatch (evicted), then revives; with ReprobeAfter
+	// tiny the readmission loop should bring it back within this query or,
+	// at latest, leave the query unharmed.
+	ft := dist.NewFaultTransport(&dist.HTTPTransport{},
+		dist.Fault{Worker: urls[0], AtIndex: -1, Kind: dist.FaultKill})
+	q := gridQuery()
+	opts := fastOpts(urls, ft)
+	opts.ReprobeAfter = 5 * time.Millisecond
+	c := dist.New(opts)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		ft.Revive(urls[0])
+	}()
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate across eviction and readmission")
+	}
+}

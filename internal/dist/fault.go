@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// FaultKind selects what an injected fault does when it fires.
+type FaultKind int
+
+const (
+	// FaultDelay stalls the stream before the triggering line is
+	// delivered (a straggling worker).
+	FaultDelay FaultKind = iota
+	// FaultError fails the dispatch or stream with a transport error (a
+	// worker that answers 500s or resets connections).
+	FaultError
+	// FaultDrop severs the stream mid-shard with an unexpected EOF (a
+	// worker whose connection dies after some lines were delivered).
+	FaultDrop
+	// FaultKill marks the worker dead: the triggering dispatch/line fails
+	// and every later Send and Ready against that worker fails too, until
+	// Revive (a worker process that crashed).
+	FaultKill
+)
+
+// ErrInjected is the transport error injected faults surface.
+var ErrInjected = errors.New("dist: injected fault")
+
+// Fault is one scripted failure of the injection harness.
+type Fault struct {
+	// Worker targets one worker base URL ("" afflicts any worker).
+	Worker string
+	// AtIndex fires the fault when the stream reaches this task index;
+	// -1 fires at dispatch, before any line is delivered.
+	AtIndex int
+	// Kind selects the failure mode.
+	Kind FaultKind
+	// Delay is the stall duration of a FaultDelay.
+	Delay time.Duration
+	// Times bounds how often the fault fires (0 means once).
+	Times int
+}
+
+// FaultTransport wraps a Transport with scripted fault injection: delays,
+// transport errors, mid-stream drops and worker death at chosen task
+// indices. It is safe for concurrent use and is how the integration tests
+// prove merged bytes == local bytes under every failure mode.
+type FaultTransport struct {
+	Inner Transport
+
+	mu     sync.Mutex
+	faults []*faultState
+	dead   map[string]bool
+}
+
+type faultState struct {
+	Fault
+	fired int
+}
+
+// NewFaultTransport wraps inner with the given fault script.
+func NewFaultTransport(inner Transport, faults ...Fault) *FaultTransport {
+	ft := &FaultTransport{Inner: inner, dead: map[string]bool{}}
+	for _, f := range faults {
+		ft.faults = append(ft.faults, &faultState{Fault: f})
+	}
+	return ft
+}
+
+// Inject appends a fault to the script at runtime.
+func (ft *FaultTransport) Inject(f Fault) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.faults = append(ft.faults, &faultState{Fault: f})
+}
+
+// Revive clears a killed worker so later dispatches reach it again.
+func (ft *FaultTransport) Revive(worker string) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	delete(ft.dead, worker)
+}
+
+// match claims a firing of the first pending fault for (worker, index) and
+// returns it, or nil. The claim is made under the lock so concurrent
+// streams cannot double-fire a bounded fault.
+func (ft *FaultTransport) match(worker string, index int) *faultState {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for _, f := range ft.faults {
+		times := f.Times
+		if times == 0 {
+			times = 1
+		}
+		if f.fired >= times {
+			continue
+		}
+		if f.Worker != "" && f.Worker != worker {
+			continue
+		}
+		if f.AtIndex != index {
+			continue
+		}
+		f.fired++
+		if f.Kind == FaultKill {
+			ft.dead[worker] = true
+		}
+		return f
+	}
+	return nil
+}
+
+func (ft *FaultTransport) isDead(worker string) bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.dead[worker]
+}
+
+// Send implements Transport with dispatch-time faults (AtIndex == -1)
+// applied before the shard starts and stream-time faults applied by the
+// wrapping LineStream as lines pass through.
+func (ft *FaultTransport) Send(ctx context.Context, worker string, req TaskRequest) (LineStream, error) {
+	if ft.isDead(worker) {
+		return nil, ErrInjected
+	}
+	if f := ft.match(worker, -1); f != nil {
+		switch f.Kind {
+		case FaultDelay:
+			select {
+			case <-time.After(f.Delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		default:
+			return nil, ErrInjected
+		}
+	}
+	inner, err := ft.Inner.Send(ctx, worker, req)
+	if err != nil {
+		return nil, err
+	}
+	return &faultStream{ft: ft, worker: worker, inner: inner, ctx: ctx}, nil
+}
+
+// Ready implements Transport; killed workers probe as down.
+func (ft *FaultTransport) Ready(ctx context.Context, worker string) error {
+	if ft.isDead(worker) {
+		return ErrInjected
+	}
+	return ft.Inner.Ready(ctx, worker)
+}
+
+// faultStream applies stream-time faults keyed on the task index of each
+// line about to be delivered.
+type faultStream struct {
+	ft     *FaultTransport
+	worker string
+	inner  LineStream
+	ctx    context.Context
+}
+
+func (s *faultStream) Next() (TaskLine, error) {
+	if s.ft.isDead(s.worker) {
+		return TaskLine{}, ErrInjected
+	}
+	line, err := s.inner.Next()
+	if err != nil {
+		return TaskLine{}, err
+	}
+	if line.Result != nil {
+		if f := s.ft.match(s.worker, line.Index); f != nil {
+			switch f.Kind {
+			case FaultDelay:
+				select {
+				case <-time.After(f.Delay):
+				case <-s.ctx.Done():
+					return TaskLine{}, s.ctx.Err()
+				}
+			case FaultDrop:
+				return TaskLine{}, io.ErrUnexpectedEOF
+			default: // FaultError, FaultKill
+				return TaskLine{}, ErrInjected
+			}
+		}
+	}
+	return line, nil
+}
+
+func (s *faultStream) Close() error { return s.inner.Close() }

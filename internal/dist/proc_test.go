@@ -1,0 +1,164 @@
+package dist_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessKillMidPlan is the end-to-end crash drill of the tentpole:
+// a real coordinator process fronting two real worker processes, one of
+// which exits(3) mid-plan via -fault-exit-after-tasks. The coordinator must
+// re-dispatch the dead worker's remainder and answer /v2/query with bytes
+// identical to a plain single-process server, and its /metrics must show
+// the re-dispatch happened.
+func TestMultiProcessKillMidPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := buildServe(t)
+
+	workerA := spawnServe(t, bin, "-workers", "2", "-fault-exit-after-tasks", "1")
+	workerB := spawnServe(t, bin, "-workers", "2")
+	coord := spawnServe(t, bin,
+		"-workers", "2",
+		"-peers", workerA+","+workerB,
+		"-shard-size", "2",
+		"-shard-timeout", "10s",
+	)
+	for _, u := range []string{workerA, workerB, coord} {
+		waitReady(t, u)
+	}
+
+	// 12 grid points, shard size 2. The scheduler always opens the plan by
+	// dispatching the first shard to the first listed peer, so worker A is
+	// guaranteed work — and -fault-exit-after-tasks 1 makes it die after
+	// the first line of that shard, mid-stream, deterministically.
+	q := `{"kind":"grid",` +
+		`"params":{"contention":{"superframes":8,"seed":3}},` +
+		`"losses":{"values":[52,58,64,70,76,82]},` +
+		`"payloads":{"values":[20,100]}}`
+
+	distributed := postQuery(t, coord, q)
+	local := postQuery(t, workerB, q)
+	if !bytes.Equal(distributed, local) {
+		t.Fatalf("distributed bytes deviate from single-process bytes\n got %s\nwant %s", distributed, local)
+	}
+	if n := scrapeCounter(t, coord, "wsn_dist_redispatch_total"); n == 0 {
+		t.Fatal("worker death did not raise wsn_dist_redispatch_total")
+	}
+	if n := scrapeCounter(t, coord, "wsn_dist_tasks_remote_total"); n == 0 {
+		t.Fatal("no task was computed remotely")
+	}
+}
+
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wsn-serve")
+	cmd := exec.Command("go", "build", "-o", bin, "dense802154/cmd/wsn-serve")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// spawnServe starts one wsn-serve on a fresh loopback port and returns its
+// base URL. The process is killed at test end; a -fault-exit-after-tasks
+// death in between is part of the script, not a failure.
+func spawnServe(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	args := append([]string{"-addr", addr, "-quiet"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	return "http://" + addr
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", base)
+}
+
+func postQuery(t *testing.T, base, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(base+"/v2/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s/v2/query answered %d: %s", base, resp.StatusCode, b)
+	}
+	return b
+}
+
+func scrapeCounter(t *testing.T, base, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(fmt.Sprintf(`(?m)^%s (\d+)$`, regexp.QuoteMeta(name)))
+	m := re.FindSubmatch(b)
+	if m == nil {
+		t.Fatalf("metric %s absent from %s/metrics", name, base)
+	}
+	n, err := strconv.ParseUint(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// LineStream is one shard's response stream: Next returns TaskLines in
+// range order and io.EOF after the terminal line (or a transport error if
+// the stream dies mid-shard). Close releases the underlying connection.
+type LineStream interface {
+	Next() (TaskLine, error)
+	Close() error
+}
+
+// Transport carries shards to workers. It is the coordinator's only view of
+// the fleet, which is what makes fault injection complete: wrapping a
+// Transport can simulate every failure mode a real network exhibits.
+type Transport interface {
+	// Send posts req to the worker's /v2/tasks endpoint and returns the
+	// line stream. A non-nil error means the shard never started there.
+	Send(ctx context.Context, worker string, req TaskRequest) (LineStream, error)
+	// Ready probes the worker's readiness endpoint (admission/eviction).
+	Ready(ctx context.Context, worker string) error
+}
+
+// HTTPTransport is the production Transport: JSON over HTTP against the
+// /v2/tasks and /readyz routes of each worker's base URL.
+type HTTPTransport struct {
+	// Client issues the requests (nil ⇒ a dedicated client with no global
+	// timeout; per-shard deadlines come from the Send context).
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// Send implements Transport.
+func (t *HTTPTransport) Send(ctx context.Context, worker string, req TaskRequest) (LineStream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v2/tasks", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("dist: worker %s answered %d: %s", worker, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return &jsonLineStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// Ready implements Transport.
+func (t *HTTPTransport) Ready(ctx context.Context, worker string) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s not ready (%d)", worker, resp.StatusCode)
+	}
+	return nil
+}
+
+// jsonLineStream decodes NDJSON TaskLines off a response body.
+type jsonLineStream struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+}
+
+func (s *jsonLineStream) Next() (TaskLine, error) {
+	var line TaskLine
+	if err := s.dec.Decode(&line); err != nil {
+		return TaskLine{}, err
+	}
+	return line, nil
+}
+
+func (s *jsonLineStream) Close() error { return s.body.Close() }
+
+// probeCtx derives a bounded context for one readiness probe.
+func probeCtx(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	return context.WithTimeout(ctx, d)
+}

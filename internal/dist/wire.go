@@ -1,0 +1,64 @@
+// Package dist is the fault-tolerant distribution layer over the compiled
+// query plans of internal/query: a Coordinator shards one Plan across a
+// fleet of wsn-serve workers and merges the returned shards into one
+// ResultSet byte-identical to a single-machine Run.
+//
+// Everything rests on properties the rest of the repository already
+// guarantees: a compiled Plan's tasks are pure functions of (query, index)
+// — seeds derive from (root, index), the contention cache is a pure memo —
+// and ResultSet encoding is byte-stable. Any shard is therefore
+// recomputable on any machine at any time, which is what makes the
+// robustness story simple: on worker timeout, error, disconnect or death
+// the coordinator just re-dispatches the missing index range elsewhere
+// (with exponential backoff and jitter), speculatively duplicates
+// stragglers keyed off the per-task wall times each worker reports, and —
+// when the whole fleet is gone — degrades gracefully to local execution.
+// The merged bytes are identical in every case.
+//
+// Workers expose POST /v2/tasks (served by internal/service): the body is a
+// TaskRequest naming the full query plus a task index range, the response
+// is NDJSON — one TaskLine per task in range order, then a terminal done
+// line. Streaming in range order is load-bearing: a shard that dies after k
+// lines has completed exactly its first k tasks, so only [from+k, to) is
+// re-dispatched.
+//
+// The Transport interface carries shards to workers; HTTPTransport is the
+// production implementation and FaultTransport the injectable harness that
+// can delay, error, drop a stream mid-shard, or kill a worker at a chosen
+// task index — the integration tests drive every failure through it and
+// assert merged bytes == local bytes.
+package dist
+
+import "dense802154/internal/query"
+
+// TaskRequest is the body of POST /v2/tasks: compute tasks [From,To) of the
+// plan compiled from Query. The receiving worker validates the range
+// against its own compilation of the query, so a coordinator/worker version
+// skew that changes plan shape fails loudly instead of merging garbage.
+type TaskRequest struct {
+	Query query.Query `json:"query"`
+	From  int         `json:"from"`
+	To    int         `json:"to"`
+	// Workers is the parallelism the shard asks for on the worker (0 ⇒
+	// the worker's own default); the worker clamps it to its token budget.
+	// Results never depend on it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// TaskLine is one NDJSON record of a /v2/tasks response stream. Exactly one
+// of three shapes appears on a line:
+//
+//   - a task line: Result set, Index echoing its plan index, WallMS the
+//     worker-measured wall time (the straggler-detection signal);
+//   - the terminal success line: Done true with Count tasks served;
+//   - a terminal error line: Error set (a deterministic compute failure —
+//     retrying elsewhere would fail identically, so the coordinator aborts
+//     the query instead of re-dispatching).
+type TaskLine struct {
+	Index  int               `json:"index,omitempty"`
+	WallMS float64           `json:"wall_ms,omitempty"`
+	Result *query.TaskResult `json:"result,omitempty"`
+	Done   bool              `json:"done,omitempty"`
+	Count  int               `json:"count,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}

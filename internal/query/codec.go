@@ -663,6 +663,31 @@ func WireSimResult(seed int64, r netsim.Result) SimResultWire {
 	}
 }
 
+// Result reconstructs the netsim.Result fields the wire form carries —
+// exactly the observables netsim.Merge folds into the across-replica
+// summary. Floats and durations round-trip exactly (wire.Float, integer
+// nanoseconds), so a summary assembled from decoded shards is bit-identical
+// to one assembled from in-process results; fields the wire omits (the
+// ledger, the attempts histogram, traces) stay zero.
+func (w SimResultWire) Result() netsim.Result {
+	return netsim.Result{
+		AvgPowerPerNode:  units.Power(w.AvgPowerW),
+		DeliveryRatio:    float64(w.DeliveryRatio),
+		PrFailPerAttempt: float64(w.PrFailPerAttempt),
+		PacketsOffered:   w.PacketsOffered,
+		PacketsDelivered: w.PacketsDelivered,
+		PacketsDropped:   w.PacketsDropped,
+		PacketsExpired:   w.PacketsExpired,
+		Transmissions:    w.Transmissions,
+		Collisions:       w.Collisions,
+		AccessFailures:   w.AccessFailures,
+		CorruptedFrames:  w.CorruptedFrames,
+		MeanDelay:        time.Duration(w.MeanDelayNS),
+		P95Delay:         time.Duration(w.P95DelayNS),
+		Contention:       w.Contention.Stats(),
+	}
+}
+
 // ReplicaStatWire is the JSON form of netsim.ReplicaStat.
 type ReplicaStatWire struct {
 	Mean Float `json:"mean"`

@@ -5,12 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
 	"dense802154/internal/core"
 	"dense802154/internal/engine"
 	"dense802154/internal/experiments"
+	"dense802154/internal/frame"
+	"dense802154/internal/mac"
 	"dense802154/internal/netsim"
 	"dense802154/internal/scenario"
 )
@@ -146,9 +149,13 @@ type task struct {
 
 // exec is one materialized execution: the tasks plus the optional assembly
 // step that derives the merged summary from the per-task results.
+// assemble consumes the in-process task values; assembleWire recomputes the
+// same summary from the wire payloads alone, for results that crossed a
+// machine boundary (Plan.Assemble) and therefore carry no values.
 type exec struct {
-	tasks    []task
-	assemble func(rs *ResultSet)
+	tasks        []task
+	assemble     func(rs *ResultSet)
+	assembleWire func(rs *ResultSet) *Error
 }
 
 // Plan is a compiled Query: a validated, deterministic list of engine
@@ -164,6 +171,9 @@ type Plan struct {
 	// Trace carries the query's tracing opt-in; Execute attaches a
 	// PlanTraceWire to the ResultSet when set.
 	Trace bool
+	// Timeout is the per-query execution deadline (Query.TimeoutMS;
+	// 0 = none). Execute and ExecuteRange bound their context with it.
+	Timeout time.Duration
 
 	numTasks int
 	labels   []string
@@ -205,6 +215,8 @@ func Compile(q Query) (*Plan, error) {
 		build = q.buildScenario
 	case KindExperiment:
 		build = q.buildExperiment
+	case KindGrid:
+		build = q.buildGrid
 	}
 	// Materialize once at the request's own parallelism to surface every
 	// validation error before any work is scheduled.
@@ -212,7 +224,17 @@ func Compile(q Query) (*Plan, error) {
 	if aerr != nil {
 		return nil, aerr
 	}
-	p := &Plan{Kind: q.Kind, Workers: q.Workers, Trace: q.Trace, numTasks: len(ex.tasks), build: build}
+	// A timeout_ms past ~292 years would overflow the Duration multiply;
+	// clamp to the maximum representable deadline (operationally: none).
+	timeout := time.Duration(q.TimeoutMS) * time.Millisecond
+	if q.TimeoutMS > math.MaxInt64/int64(time.Millisecond) {
+		timeout = math.MaxInt64
+	}
+	p := &Plan{
+		Kind: q.Kind, Workers: q.Workers, Trace: q.Trace,
+		Timeout:  timeout,
+		numTasks: len(ex.tasks), build: build,
+	}
 	for _, t := range ex.tasks {
 		p.labels = append(p.labels, t.label)
 	}
@@ -227,6 +249,11 @@ func Compile(q Query) (*Plan, error) {
 // returned. A canceled ctx stops the plan promptly with ctx.Err().
 func (p *Plan) Execute(ctx context.Context, workers int, yield func(TaskResult) error) (*ResultSet, error) {
 	workers = engine.ResolveWorkers(workers)
+	if p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
 	ex, aerr := p.build(workers)
 	if aerr != nil {
 		return nil, aerr
@@ -322,6 +349,114 @@ func (p *Plan) Execute(ctx context.Context, workers int, yield func(TaskResult) 
 		}
 	}
 	return rs, nil
+}
+
+// ExecuteRange runs only the tasks [from,to) of the plan on workers
+// goroutines and yields each TaskResult in plan order as soon as it and all
+// its range predecessors have completed, together with its measured wall
+// time in milliseconds. It is the worker half of distributed execution: a
+// shard of any compiled plan is a pure function of (query, range), so any
+// machine that can compile the query can compute any shard, and the
+// emission order lets a coordinator resume a partially-streamed shard from
+// the first missing index. No assembly step runs — the coordinator merges
+// shards with Assemble. A yield error cancels the remaining tasks.
+func (p *Plan) ExecuteRange(ctx context.Context, workers, from, to int, yield func(tr TaskResult, wallMS float64) error) error {
+	if from < 0 || to > p.numTasks || from >= to {
+		return errf("range", "task range [%d,%d) outside plan of %d tasks", from, to, p.numTasks)
+	}
+	workers = engine.ResolveWorkers(workers)
+	if p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
+	ex, aerr := p.build(workers)
+	if aerr != nil {
+		return aerr
+	}
+	n := to - from
+	results := make([]TaskResult, n)
+	walls := make([]float64, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan int, n)
+	var mapErr error
+	go func() {
+		defer close(done)
+		mapErr = engine.Map(ctx, workers, n, func(i int) error {
+			idx := from + i
+			start := time.Now()
+			r, err := ex.tasks[idx].run(ctx)
+			if err != nil {
+				return err
+			}
+			walls[i] = time.Since(start).Seconds() * 1e3
+			r.Index = idx
+			r.Label = ex.tasks[idx].label
+			results[i] = r
+			select {
+			case done <- i:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+	var yieldErr error
+	ready := make([]bool, n)
+	next := 0
+	for i := range done {
+		ready[i] = true
+		for next < n && ready[next] {
+			if yieldErr == nil {
+				if err := yield(results[next], walls[next]); err != nil {
+					yieldErr = err
+					cancel()
+				}
+			}
+			next++
+		}
+	}
+	if yieldErr != nil {
+		return yieldErr
+	}
+	return mapErr
+}
+
+// Assemble merges already-computed per-task results (in plan order, e.g.
+// collected from distributed ExecuteRange shards) into the same ResultSet
+// Execute produces, byte for byte: the per-kind assembly step (the replicas
+// summary) is recomputed from the wire payloads, whose exact-round-trip
+// floats make the merged statistics bit-identical to a local run. Every
+// task of the plan must be present with its payload set.
+func (p *Plan) Assemble(results []TaskResult) (*ResultSet, error) {
+	if len(results) != p.numTasks {
+		return nil, errf("results", "%d results for a plan of %d tasks", len(results), p.numTasks)
+	}
+	ex, aerr := p.build(engine.ResolveWorkers(p.Workers))
+	if aerr != nil {
+		return nil, aerr
+	}
+	rs := &ResultSet{Version: Version, Kind: p.Kind, Results: results}
+	if ex.assembleWire != nil {
+		if err := ex.assembleWire(rs); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// Shardable reports whether the plan benefits from distributed execution:
+// its kind fans out into per-task wire payloads that round-trip exactly
+// (batch elements, simulation replicas, grid points) and it has more than
+// one task. Single-task plans and the catalog/driver kinds always run where
+// they were compiled.
+func (p *Plan) Shardable() bool {
+	switch p.Kind {
+	case KindBatch, KindReplicas, KindGrid:
+		return p.numTasks > 1
+	}
+	return false
 }
 
 // Run compiles and executes q in one step with q.Workers goroutines.
@@ -572,6 +707,21 @@ func (q *Query) buildReplicas(workers int) (*exec, *Error) {
 		summary := WireReplicaSummary(set)
 		rs.Summary = &summary
 		rs.value = set
+	}, assembleWire: func(rs *ResultSet) *Error {
+		// The wire replica payloads round-trip the exact floats the merge
+		// folds, so the summary recomputed here is bit-identical to the
+		// in-process assemble above.
+		results := make([]netsim.Result, len(rs.Results))
+		for i := range rs.Results {
+			if rs.Results[i].Sim == nil {
+				return errf("results", "task %d carries no sim payload", i)
+			}
+			results[i] = rs.Results[i].Sim.Result()
+		}
+		set := netsim.Merge(cfg, seeds, results)
+		summary := WireReplicaSummary(set)
+		rs.Summary = &summary
+		return nil
 	}}, nil
 }
 
@@ -639,6 +789,97 @@ func (q *Query) buildExperiment(workers int) (*exec, *Error) {
 		}
 		return TaskResult{Experiment: &ExperimentReportWire{Name: name, Tables: tables}, value: tables}, nil
 	}}}}, nil
+}
+
+// buildGrid materializes the joint product sweep — losses × payloads × BOs
+// × node counts, one analytical evaluation per point — the paper-scale
+// Fig. 6 surface generator. Axis order is fixed (nodes fastest, losses
+// slowest), so task index i maps to a unique point and any shard of the
+// plan is recomputable anywhere from (query, index range) alone. Omitted
+// axes collapse to the base point: a grid over losses only is the batch of
+// evaluations a client would otherwise page by hand.
+func (q *Query) buildGrid(workers int) (*exec, *Error) {
+	base, aerr := q.baseParams(workers, 1)
+	if aerr != nil {
+		return nil, aerr
+	}
+	losses, aerr := q.Losses.Grid("losses", func() []float64 { return []float64{base.PathLossDB} })
+	if aerr != nil {
+		return nil, aerr
+	}
+	payloads, aerr := q.Payloads.Grid("payloads", func() []int { return []int{base.PayloadBytes} })
+	if aerr != nil {
+		return nil, aerr
+	}
+	bos, aerr := q.BOs.Grid("bos", func() []int { return []int{int(base.Superframe.BO)} })
+	if aerr != nil {
+		return nil, aerr
+	}
+	nodes, aerr := q.Nodes.Grid("nodes", func() []int { return nil })
+	if aerr != nil {
+		return nil, aerr
+	}
+	// nil means "keep the base load"; materialize as one sentinel point.
+	loadFromNodes := nodes != nil
+	if !loadFromNodes {
+		nodes = []int{0}
+	}
+
+	total := 1
+	for _, l := range []int{len(losses), len(payloads), len(bos), len(nodes)} {
+		total *= l
+		if total > MaxGridTasks {
+			return nil, errf("grid", "grid too large (> %d points); page across several queries", MaxGridTasks)
+		}
+	}
+	if total < 1 {
+		return nil, errf("grid", "empty grid")
+	}
+
+	// Pre-validate each point's parameter set so every error surfaces at
+	// compile time, before any work is scheduled, and build the task list
+	// in the fixed row-major order.
+	tasks := make([]task, 0, total)
+	for _, loss := range losses {
+		for _, payload := range payloads {
+			for _, bo := range bos {
+				if bo < 0 || bo > int(mac.MaxBeaconOrder) {
+					return nil, errf("bos", "beacon order %d outside 0..%d", bo, mac.MaxBeaconOrder)
+				}
+				sf, err := mac.NewSuperframe(uint8(bo), base.Superframe.SO)
+				if err != nil {
+					return nil, errf("bos", "bo=%d with base so=%d: %v", bo, base.Superframe.SO, err)
+				}
+				for _, n := range nodes {
+					p := base
+					p.PathLossDB = loss
+					p.PayloadBytes = payload
+					p.Superframe = sf
+					label := fmt.Sprintf("grid[%d]:loss=%g,payload=%d,bo=%d", len(tasks), loss, payload, bo)
+					if loadFromNodes {
+						if n < 1 {
+							return nil, errf("nodes", "population %d < 1", n)
+						}
+						p.Load = sf.ChannelLoad(n, frame.PaperPacketDuration(payload))
+						label += fmt.Sprintf(",n=%d", n)
+					}
+					if err := p.Validate(); err != nil {
+						return nil, errf("grid", "%s: %v", label, err)
+					}
+					pt := p
+					tasks = append(tasks, task{label: label, run: func(ctx context.Context) (TaskResult, error) {
+						m, err := core.Evaluate(pt)
+						if err != nil {
+							return TaskResult{}, err
+						}
+						mw := WireMetrics(m)
+						return TaskResult{Metrics: &mw, value: m}, nil
+					}})
+				}
+			}
+		}
+	}
+	return &exec{tasks: tasks}, nil
 }
 
 // String implements fmt.Stringer with a one-line plan summary.

@@ -14,6 +14,7 @@
 //	replicas        n independent simulations with across-replica 95% CIs
 //	scenario        one cross-model catalog scenario (optionally golden-diffed)
 //	experiment      one registered paper-artifact driver
+//	grid            the joint product sweep (losses × payloads × BO × node counts)
 //
 // Compile validates a Query and lowers it to a deterministic execution
 // Plan — an ordered list of engine tasks (one per batch element or
@@ -59,6 +60,7 @@ const (
 	KindReplicas      Kind = "replicas"
 	KindScenario      Kind = "scenario"
 	KindExperiment    Kind = "experiment"
+	KindGrid          Kind = "grid"
 )
 
 // Kinds lists every valid query kind in declaration order.
@@ -66,13 +68,17 @@ func Kinds() []Kind {
 	return []Kind{
 		KindEvaluate, KindBatch, KindCaseStudy, KindPathLossSweep,
 		KindPayloadSweep, KindThresholds, KindSimulate, KindReplicas,
-		KindScenario, KindExperiment,
+		KindScenario, KindExperiment, KindGrid,
 	}
 }
 
 // MaxBatch caps the batch elements of one query; larger workloads page
 // across several queries.
 const MaxBatch = 10000
+
+// MaxGridTasks caps the task count of one grid query (the product of its
+// axis lengths); larger surfaces page across several queries.
+const MaxGridTasks = 10000
 
 // MaxGridPoints caps one sweep axis.
 const MaxGridPoints = 100000
@@ -246,11 +252,21 @@ type Query struct {
 	Sim *SimConfigWire `json:"sim,omitempty"`
 
 	// Losses is the path-loss grid axis in dB (kinds pathloss-sweep,
-	// thresholds; default: the case-study population grid).
+	// thresholds, grid; default: the case-study population grid, or the
+	// base point for kind grid).
 	Losses *Axis `json:"losses,omitempty"`
-	// Payloads is the payload grid axis in bytes (kind payload-sweep;
-	// default: the Fig. 8 grid).
+	// Payloads is the payload grid axis in bytes (kinds payload-sweep,
+	// grid; default: the Fig. 8 grid, or the base point for kind grid).
 	Payloads *IntAxis `json:"payloads,omitempty"`
+	// BOs is the beacon-order grid axis (kind grid; default: the base
+	// superframe's BO). Each point keeps the base SO, so BO > SO points
+	// sweep the paper's duty-cycling lever.
+	BOs *IntAxis `json:"bos,omitempty"`
+	// Nodes is the per-channel population grid axis (kind grid). Each
+	// point n sets the load to Superframe.ChannelLoad(n, Tpacket) — the
+	// same rule the §5 case study applies — after the point's payload and
+	// BO are in place. Omitted, the base Load is kept unchanged.
+	Nodes *IntAxis `json:"nodes,omitempty"`
 	// Replicas is the replication count (kind replicas; default 1), one
 	// task per replica.
 	Replicas int `json:"replicas,omitempty"`
@@ -278,6 +294,14 @@ type Query struct {
 	// comparisons.
 	Trace bool `json:"trace,omitempty"`
 
+	// TimeoutMS is the per-query execution deadline in milliseconds
+	// (0 = none). Like workers and trace it is legal on every kind and
+	// never changes computed result bytes — a query either completes with
+	// its full deterministic result or fails with a deadline error (the
+	// HTTP layer answers a structured 504). The deadline propagates into
+	// every task context, locally and across distributed shards.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
 	// Direct carries pre-materialized inputs for the in-process facade
 	// wrappers; it is not part of the wire form.
 	Direct *Direct `json:"-"`
@@ -297,6 +321,8 @@ var queryFields = []queryField{
 	{"sim", func(q *Query) bool { return q.Sim != nil }},
 	{"losses", func(q *Query) bool { return q.Losses != nil }},
 	{"payloads", func(q *Query) bool { return q.Payloads != nil }},
+	{"bos", func(q *Query) bool { return q.BOs != nil }},
+	{"nodes", func(q *Query) bool { return q.Nodes != nil }},
 	{"replicas", func(q *Query) bool { return q.Replicas != 0 }},
 	{"scenario", func(q *Query) bool { return q.Scenario != "" }},
 	{"diff", func(q *Query) bool { return q.Diff }},
@@ -318,12 +344,16 @@ var allowedFields = map[Kind][]string{
 	KindReplicas:      {"sim", "replicas"},
 	KindScenario:      {"scenario", "diff"},
 	KindExperiment:    {"experiment", "quick", "seed"},
+	KindGrid:          {"params", "losses", "payloads", "bos", "nodes"},
 }
 
 // validateShape checks version, kind and kind/field compatibility.
 func (q *Query) validateShape() *Error {
 	if q.Version != 0 && q.Version != Version {
 		return errf("version", "unsupported version %d (want %d, or omit)", q.Version, Version)
+	}
+	if q.TimeoutMS < 0 {
+		return errf("timeout_ms", "negative deadline %d", q.TimeoutMS)
 	}
 	allowed, ok := allowedFields[q.Kind]
 	if !ok {

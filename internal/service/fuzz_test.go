@@ -181,6 +181,14 @@ func FuzzQueryDecode(f *testing.F) {
 		`{"kind":"evaluate","replicas":1}`,
 		`{"kind":"evaluate","params":{"load":"+Inf"}}`,
 		`{"kind":"batch","batch":[]}`,
+		`{"kind":"grid","params":{"contention":{"superframes":8,"seed":3}},"losses":{"values":[55,70]},"payloads":{"values":[20,100]}}`,
+		`{"kind":"grid","losses":{"from":55,"to":95,"points":5},"bos":{"values":[6,9]},"nodes":{"values":[10,50]}}`,
+		`{"kind":"grid","losses":{"from":40,"to":240,"points":201},"payloads":{"from":5,"to":123,"step":1}}`,
+		`{"kind":"grid","losses":{"values":["NaN"]}}`,
+		`{"kind":"grid","bos":{"values":[0]},"replicas":2}`,
+		`{"kind":"evaluate","timeout_ms":1000}`,
+		`{"kind":"evaluate","timeout_ms":-5}`,
+		`{"kind":"replicas","sim":{"nodes":10},"replicas":4,"timeout_ms":9223372036854775807}`,
 		`{"unknown":1}`,
 		`{"kind":"evaluate"} trailing`,
 	} {

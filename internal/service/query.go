@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -46,6 +47,25 @@ func (s *Server) countQuery(plan *query.Plan) {
 	s.queryTasks.Add(uint64(plan.NumTasks()))
 }
 
+// queryContext applies the server's per-query deadline (Config.QueryTimeout)
+// to a v2 query execution; the query's own timeout_ms, when tighter, is
+// applied underneath by the plan itself.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// execQuery runs a compiled plan through the configured Distributor when one
+// exists (coordinator mode), locally otherwise.
+func (s *Server) execQuery(ctx context.Context, q query.Query, plan *query.Plan, workers int, yield func(query.TaskResult) error) (*query.ResultSet, error) {
+	if s.cfg.Distributor != nil {
+		return s.cfg.Distributor.Distribute(ctx, q, plan, workers, yield)
+	}
+	return plan.Execute(ctx, workers, yield)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, plan, ok := s.decodeQuery(w, r)
 	if !ok {
@@ -58,7 +78,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	rs, err := plan.Execute(r.Context(), got, nil)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	rs, err := s.execQuery(ctx, q, plan, got, nil)
 	if err != nil {
 		s.writeQueryError(w, r, err)
 		return
@@ -103,10 +125,14 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 	count := 0
-	rs, err := plan.Execute(r.Context(), got, func(tr query.TaskResult) error {
+	var encodeErr error
+	rs, err := s.execQuery(ctx, q, plan, got, func(tr query.TaskResult) error {
 		if err := enc.Encode(tr); err != nil {
-			return err // client went away; Execute cancels the rest
+			encodeErr = err
+			return err // client went away; execution cancels the rest
 		}
 		count++
 		if flusher != nil {
@@ -115,24 +141,50 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		// Headers are gone; the truncated stream (no done line) is the
-		// client-visible error signal.
+		// Headers are gone; a structured terminal error line (done stays
+		// false) tells the client why the stream ended early, and its
+		// absence — a hard truncation — still signals failure. A dead
+		// client connection gets nothing, which is fine: nobody is reading.
+		if encodeErr == nil {
+			_ = enc.Encode(queryStreamErrorLine{Error: queryErrorDetail(r, err)})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
 		return
 	}
 	_ = enc.Encode(queryStreamLine{Done: true, Count: count, Summary: rs.Summary, Trace: rs.Trace})
 }
 
-// writeQueryError maps an execution failure: context failures are 503s,
-// anything else surfaces as a 400 (the model rejected the inputs).
-func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
-	if r.Context().Err() != nil {
-		writeCtxError(w, r.Context().Err())
-		return
+// queryStreamErrorLine is the terminal NDJSON record of a failed stream:
+// done=false plus the same structured error detail the non-streaming route
+// would have answered with.
+type queryStreamErrorLine struct {
+	Done  bool        `json:"done"`
+	Error errorDetail `json:"error"`
+}
+
+// queryErrorDetail maps a v2 execution failure to its structured error: an
+// exceeded query deadline is a 504 (the inputs were fine, the time budget
+// was not), other context failures are 503s, validation errors keep their
+// field, and anything else is a 400 (the model rejected the inputs).
+func queryErrorDetail(r *http.Request, err error) errorDetail {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return errorDetail{Status: http.StatusGatewayTimeout, Message: "query deadline exceeded"}
+	}
+	if cerr := r.Context().Err(); cerr != nil {
+		return errorDetail{Status: http.StatusServiceUnavailable, Message: cerr.Error()}
 	}
 	var aerr *Error
 	if errors.As(err, &aerr) {
-		writeValidationError(w, aerr)
-		return
+		return errorDetail{Status: http.StatusBadRequest, Message: aerr.Message, Field: aerr.Field}
 	}
-	writeError(w, http.StatusBadRequest, err.Error(), "")
+	return errorDetail{Status: http.StatusBadRequest, Message: err.Error()}
+}
+
+// writeQueryError renders a v2 execution failure (see queryErrorDetail for
+// the status mapping).
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	d := queryErrorDetail(r, err)
+	writeError(w, d.Status, d.Message, d.Field)
 }

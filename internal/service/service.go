@@ -8,6 +8,8 @@
 // # Endpoints
 //
 //	GET  /healthz                    liveness probe (uptime + build info)
+//	GET  /livez                      bare liveness probe (process is serving)
+//	GET  /readyz                     readiness probe (503 while initializing or draining)
 //	GET  /metrics                    Prometheus text-format metrics
 //	GET  /v1/stats                   cache and request counters
 //	POST /v1/evaluate                one Params → Metrics
@@ -24,12 +26,29 @@
 //	POST /v1/scenarios/{name}        run one scenario fresh (optionally diffed vs its golden)
 //	POST /v2/query                   one declarative Query → tagged ResultSet
 //	POST /v2/query/stream            same Query, NDJSON TaskResults in plan order
+//	POST /v2/tasks                   one task-index range of a compiled plan (NDJSON)
 //
 // The v2 routes speak the unified query type of internal/query: one
 // versioned request covers everything the per-endpoint v1 routes do (see
 // the v1 → v2 wire mapping in codec.go), and new parameter axes become
 // Query fields instead of new endpoints. The v1 routes are maintained but
 // frozen.
+//
+// /v2/tasks is the worker half of distributed execution (internal/dist): a
+// coordinator posts a query plus an index range and streams back the
+// corresponding TaskResults in range order. When Config.Distributor is set,
+// the /v2/query routes run through it instead of executing locally, so the
+// same binary serves as coordinator or worker depending on configuration.
+//
+// Every route handler and metrics collector runs under panic recovery: a
+// panic is logged with its stack, counted in wsn_http_panics_total, and
+// answered with a structured 500 when no bytes have been written yet — one
+// broken request never takes down the fleet member serving it.
+//
+// /readyz is the admission signal the distributed coordinator keys on: it
+// answers 503 until the server is fully constructed and again after
+// SetReady(false) during drain, so fleet membership changes are observed
+// within one probe interval.
 //
 // # Observability
 //
@@ -40,6 +59,7 @@
 //	wsn_http_request_duration_seconds{route}   histogram  wall time per request
 //	wsn_http_requests_in_flight                gauge      requests currently executing
 //	wsn_http_errors_total{route,class}         counter    non-2xx responses, class 4xx or 5xx
+//	wsn_http_panics_total                      counter    handler/collector panics recovered
 //	wsn_query_total{kind}                      counter    v2 queries by query kind
 //	wsn_query_tasks_total                      counter    plan tasks scheduled by v2 queries
 //	wsn_worker_pool_capacity                   gauge      worker-token budget
@@ -50,8 +70,11 @@
 //	wsn_build_info{version,revision,goversion} gauge      constant 1, build identification
 //
 // plus the engine worker-pool metrics (wsn_engine_*), the contention cache
-// (wsn_contention_cache_*) and the simulator run counters (wsn_netsim_*);
-// see the RegisterMetrics doc of each package. Those families read
+// (wsn_contention_cache_*), the simulator run counters (wsn_netsim_*) and
+// the distributed-execution families (wsn_dist_*: queries, shard
+// dispatches, retries, re-dispatches, straggler speculation, remote/local
+// task counts, fleet membership); see the RegisterMetrics doc of each
+// package. Those families read
 // process-wide sources, so two servers in one process scrape one truth.
 //
 // Request logging is structured (log/slog): one record per request with a
@@ -76,6 +99,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -83,6 +107,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -90,8 +115,10 @@ import (
 
 	"dense802154/internal/buildinfo"
 	"dense802154/internal/contention"
+	"dense802154/internal/dist"
 	"dense802154/internal/engine"
 	"dense802154/internal/netsim"
+	"dense802154/internal/query"
 	"dense802154/internal/telemetry"
 )
 
@@ -117,6 +144,31 @@ type Config struct {
 	// Log is the legacy plain logger; when Logger is nil and Log is set,
 	// requests are logged through a text slog handler on Log's writer.
 	Log *log.Logger
+	// Distributor, when set, executes /v2/query and /v2/query/stream plans
+	// (a dist.Coordinator shards them across a worker fleet and merges the
+	// results byte-identically to local execution). Nil runs every plan
+	// locally.
+	Distributor Distributor
+	// QueryTimeout is the per-query execution deadline of the v2 query
+	// routes (0 = none). Unlike RequestTimeout's 503, an exceeded query
+	// deadline is answered with a structured 504; a query's own timeout_ms,
+	// when tighter, wins.
+	QueryTimeout time.Duration
+	// FaultExitAfterTasks, when positive, makes the process exit with
+	// status 3 after serving this many /v2/tasks lines — a deterministic
+	// mid-stream worker death for multi-process fault-injection tests.
+	// Never set it on a server sharing a process with anything you care
+	// about.
+	FaultExitAfterTasks int
+}
+
+// Distributor executes a compiled plan on behalf of the v2 query routes —
+// the seam where distributed execution plugs in. dist.Coordinator
+// implements it; the contract is that of query.Plan.Execute: yield receives
+// every TaskResult in plan order and the returned ResultSet encodes to the
+// same bytes a local run produces.
+type Distributor interface {
+	Distribute(ctx context.Context, q query.Query, plan *query.Plan, localWorkers int, yield func(query.TaskResult) error) (*query.ResultSet, error)
 }
 
 // requestDurationBuckets spans the request range: sub-millisecond stats
@@ -185,11 +237,15 @@ type Server struct {
 	reqSeq  atomic.Uint64
 	ridBase string // request-id prefix, unique per server instance
 
+	ready       atomic.Bool  // readiness gate behind GET /readyz
+	tasksServed atomic.Int64 // /v2/tasks lines served (FaultExitAfterTasks)
+
 	reg          *telemetry.Registry
 	httpRequests *telemetry.CounterVec
 	httpDuration *telemetry.HistogramVec
 	httpInFlight *telemetry.Gauge
 	httpErrors   *telemetry.CounterVec
+	httpPanics   *telemetry.Counter
 	queryKinds   *telemetry.CounterVec
 	queryTasks   *telemetry.Counter
 }
@@ -218,6 +274,8 @@ func NewServer(cfg Config) *Server {
 	s.registerMetrics()
 
 	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /livez", s.handleLivez)
+	s.handle("GET /readyz", s.handleReadyz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("POST /v1/evaluate", s.handleEvaluate)
@@ -234,8 +292,16 @@ func NewServer(cfg Config) *Server {
 	s.handle("POST /v1/scenarios/{name}", s.handleScenarioRun)
 	s.handle("POST /v2/query", s.handleQuery)
 	s.handle("POST /v2/query/stream", s.handleQueryStream)
+	s.handle("POST /v2/tasks", s.handleTasks)
+	s.ready.Store(true) // construction complete: worker pool and routes live
 	return s
 }
+
+// SetReady flips the /readyz readiness gate. Servers construct ready;
+// drain paths call SetReady(false) before shutdown so the distributed
+// coordinator evicts the worker instead of dispatching into a dying
+// process.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // registerMetrics wires the server-owned families plus the process-wide
 // engine, contention-cache and simulator sources into this server's
@@ -246,6 +312,7 @@ func (s *Server) registerMetrics() {
 	s.httpDuration = r.HistogramVec("wsn_http_request_duration_seconds", "Request wall time by route pattern.", requestDurationBuckets, "route")
 	s.httpInFlight = r.Gauge("wsn_http_requests_in_flight", "Requests currently executing.")
 	s.httpErrors = r.CounterVec("wsn_http_errors_total", "Non-2xx responses by route pattern and class (4xx or 5xx).", "route", "class")
+	s.httpPanics = r.Counter("wsn_http_panics_total", "Handler or collector panics recovered by the server.")
 	s.queryKinds = r.CounterVec("wsn_query_total", "v2 queries accepted, by query kind.", "kind")
 	s.queryTasks = r.Counter("wsn_query_tasks_total", "Plan tasks scheduled by accepted v2 queries.")
 
@@ -266,6 +333,7 @@ func (s *Server) registerMetrics() {
 	engine.RegisterMetrics(r)
 	contention.RegisterMetrics(r)
 	netsim.RegisterMetrics(r)
+	dist.RegisterMetrics(r)
 }
 
 // Metrics exposes the server's telemetry registry (tests and embedders
@@ -363,6 +431,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	// Registered after the metrics/logging defer above, so it runs first
+	// (LIFO): the recovery writes the 500, then the epilogue counts it.
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler { // deliberate abort: not our panic
+			panic(rec)
+		}
+		s.httpPanics.Inc()
+		if s.log != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+				slog.String("id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Any("panic", rec),
+				slog.String("stack", string(debug.Stack())))
+		}
+		if sw.status == 0 {
+			writeError(sw, http.StatusInternalServerError, "internal error", "")
+		}
+	}()
+
 	r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 	if s.cfg.RequestTimeout > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -421,10 +513,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleLivez is the bare liveness probe: the process accepts requests.
+// Distinct from /readyz — a draining server is still live but not ready.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the admission probe the distributed coordinator keys on:
+// 200 only while the server is fully constructed and not draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not-ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Render into a buffer first: a panicking GaugeFunc collector then
+	// fires before any byte or header is written, so the recovery layer
+	// can still answer a structured 500.
+	var buf bytes.Buffer
+	if err := s.reg.WritePrometheus(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), "")
+		return
+	}
 	w.Header().Set("Content-Type", telemetry.ContentType)
 	w.WriteHeader(http.StatusOK)
-	_ = s.reg.WritePrometheus(w)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

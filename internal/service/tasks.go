@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+
+	"dense802154/internal/dist"
+	"dense802154/internal/query"
+)
+
+// ---- POST /v2/tasks ----
+//
+// The worker half of distributed execution: a coordinator posts a full
+// query plus a task index range, and the worker streams back one NDJSON
+// dist.TaskLine per task in range order, then a terminal done line. Because
+// plan tasks are pure functions of (query, index), the worker recompiles
+// the query locally and computes exactly the requested slice — there is no
+// session state, so any worker can serve any shard at any time, which is
+// what re-dispatch and speculative execution lean on. The range-order
+// stream is load-bearing too: a connection that dies after k lines has
+// delivered exactly the first k tasks of the range, so the coordinator
+// resumes from the first missing index instead of recomputing the shard.
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	var req dist.TaskRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	plan, err := query.Compile(req.Query)
+	if err != nil {
+		var aerr *Error
+		if errors.As(err, &aerr) {
+			writeValidationError(w, aerr)
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error(), "")
+		}
+		return
+	}
+	if req.From < 0 || req.To > plan.NumTasks() || req.From >= req.To {
+		writeError(w, http.StatusBadRequest, "task range outside plan", "range")
+		return
+	}
+	got, release, ok := s.acquireWorkers(w, r, req.Workers)
+	if !ok {
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	count := 0
+	err = plan.ExecuteRange(r.Context(), got, req.From, req.To, func(tr query.TaskResult, wallMS float64) error {
+		res := tr
+		if err := enc.Encode(dist.TaskLine{Index: tr.Index, WallMS: wallMS, Result: &res}); err != nil {
+			return err
+		}
+		count++
+		dist.TasksServedTotal.Inc()
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if n := s.cfg.FaultExitAfterTasks; n > 0 && s.tasksServed.Add(1) >= int64(n) {
+			// Fault-injection knob: die mid-stream, deterministically, after
+			// the Nth served line — the multi-process tests' worker crash.
+			os.Exit(3)
+		}
+		return nil
+	})
+	if err != nil {
+		if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Coordinator gone or deadline hit: the truncated stream is the
+			// signal; the range is transport-retryable elsewhere.
+			return
+		}
+		// A compute error is deterministic — the same pure task fails the
+		// same way anywhere — so report it for the coordinator to abort on.
+		_ = enc.Encode(dist.TaskLine{Error: err.Error()})
+		return
+	}
+	_ = enc.Encode(dist.TaskLine{Done: true, Count: count})
+}
