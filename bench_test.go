@@ -20,6 +20,8 @@ import (
 	"dense802154/internal/experiments"
 	"dense802154/internal/netsim"
 	"dense802154/internal/phy"
+	"dense802154/internal/query"
+	"dense802154/internal/store"
 )
 
 func benchOpts(i int) experiments.Options {
@@ -277,5 +279,65 @@ func BenchmarkDespreadByte(b *testing.B) {
 	chips := phy.SpreadBytes([]byte{0xA5})
 	for i := 0; i < b.N; i++ {
 		phy.DespreadBytes(chips)
+	}
+}
+
+// storeBenchQuery mirrors the wsn-bench suite's store workload: the standard
+// 6-task grid query.
+func storeBenchQuery() query.Query {
+	seed := int64(3)
+	return query.Query{
+		Kind:     query.KindGrid,
+		Params:   &query.ParamsWire{Contention: &query.ContentionWire{Superframes: 8, Seed: &seed}},
+		Losses:   &query.Axis{Values: []query.Float{55, 70, 85}},
+		Payloads: &query.IntAxis{Values: []int{20, 100}},
+	}
+}
+
+// BenchmarkStoreKey measures content-key derivation — canonical encode plus
+// SHA-256, the fixed per-query cost of every result-store lookup.
+func BenchmarkStoreKey(b *testing.B) {
+	b.ReportAllocs()
+	q := storeBenchQuery()
+	for i := 0; i < b.N; i++ {
+		if _, ok := store.KeyFor(q); !ok {
+			b.Fatal("query not keyable")
+		}
+	}
+}
+
+// BenchmarkStoreTaskHit measures the memory-tier task hit — the path a warm
+// worker rides once per task instead of recomputing it.
+func BenchmarkStoreTaskHit(b *testing.B) {
+	b.ReportAllocs()
+	st, err := store.New(store.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, _ := store.KeyFor(storeBenchQuery())
+	st.PutTask(key, 0, make([]byte, 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.GetTask(key, 0); !ok {
+			b.Fatal("miss on warm store")
+		}
+	}
+}
+
+// BenchmarkStoreResultHit measures the whole-query body hit — the O(1)
+// answer path of a warm /v2/query.
+func BenchmarkStoreResultHit(b *testing.B) {
+	b.ReportAllocs()
+	st, err := store.New(store.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, _ := store.KeyFor(storeBenchQuery())
+	st.PutResult(key, make([]byte, 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.GetResult(key); !ok {
+			b.Fatal("miss on warm store")
+		}
 	}
 }

@@ -41,6 +41,8 @@ import (
 	"dense802154/internal/des"
 	"dense802154/internal/engine"
 	"dense802154/internal/netsim"
+	"dense802154/internal/query"
+	"dense802154/internal/store"
 )
 
 // benchResult is one benchmark's measurement in the JSON report.
@@ -211,6 +213,61 @@ func suite(quick bool) []namedBench {
 		{"CaseStudyParallel", caseStudy(0)},
 		{"Fig6ContentionSerial", fig6(1)},
 		{"Fig6ContentionParallel", fig6(0)},
+		{"StoreKey", func(b *testing.B) {
+			// Content-key derivation: canonical encode + SHA-256, the fixed
+			// per-query cost of every store lookup.
+			b.ReportAllocs()
+			q := storeBenchQuery()
+			for i := 0; i < b.N; i++ {
+				if _, ok := store.KeyFor(q); !ok {
+					b.Fatal("query not keyable")
+				}
+			}
+		}},
+		{"StoreTaskHit", func(b *testing.B) {
+			// Memory-tier task hit — the path a warm worker rides per task.
+			b.ReportAllocs()
+			st, err := store.New(store.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			key, _ := store.KeyFor(storeBenchQuery())
+			st.PutTask(key, 0, make([]byte, 512))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.GetTask(key, 0); !ok {
+					b.Fatal("miss on warm store")
+				}
+			}
+		}},
+		{"StoreResultHit", func(b *testing.B) {
+			// Whole-query body hit — the O(1) answer path of /v2/query.
+			b.ReportAllocs()
+			st, err := store.New(store.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			key, _ := store.KeyFor(storeBenchQuery())
+			st.PutResult(key, make([]byte, 4096))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.GetResult(key); !ok {
+					b.Fatal("miss on warm store")
+				}
+			}
+		}},
+	}
+}
+
+// storeBenchQuery is the standard 6-task grid workload of the store
+// benchmarks (the same shape the dist and service tests use).
+func storeBenchQuery() query.Query {
+	seed := int64(3)
+	return query.Query{
+		Kind:     query.KindGrid,
+		Params:   &query.ParamsWire{Contention: &query.ContentionWire{Superframes: 8, Seed: &seed}},
+		Losses:   &query.Axis{Values: []query.Float{55, 70, 85}},
+		Payloads: &query.IntAxis{Values: []int{20, 100}},
 	}
 }
 

@@ -44,6 +44,17 @@
 // with a structured 504 when exceeded). Workers need no flags: any
 // wsn-serve serves /v2/tasks. During drain the server flips /readyz to 503
 // first, so coordinators evict it before the listener closes.
+//
+// Result store: every server keeps a content-addressed result store
+// (internal/store) keyed by the SHA-256 of the query's canonical form.
+// Identical queries are answered from the store in O(1), interrupted
+// streams resume from persisted per-task results, and in coordinator mode
+// stored shards are adopted instead of dispatched. -store-mem bounds the
+// in-memory tier in bytes (default 256 MiB; 0 disables the store entirely,
+// including the disk tier); -store-dir adds a persistent on-disk tier that
+// survives restarts:
+//
+//	wsn-serve -addr :8080 -store-mem 134217728 -store-dir /var/lib/wsn/store
 package main
 
 import (
@@ -65,6 +76,7 @@ import (
 	"dense802154/internal/buildinfo"
 	"dense802154/internal/dist"
 	"dense802154/internal/service"
+	"dense802154/internal/store"
 )
 
 // pprofHandler builds the debug mux by hand (instead of blank-importing
@@ -100,6 +112,9 @@ func main() {
 		distAttempts = flag.Int("dist-attempts", 0, "dispatch attempts per index range before local fallback (0 = 4)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-query deadline of the v2 routes, answered 504 (0 = none)")
 		faultExit    = flag.Int("fault-exit-after-tasks", 0, "TESTING: exit(3) after serving this many /v2/tasks lines")
+
+		storeMem = flag.Int64("store-mem", store.DefaultMaxBytes, "in-memory result-store budget in bytes (0 = store disabled, even with -store-dir)")
+		storeDir = flag.String("store-dir", "", "directory of the on-disk result-store tier (empty = memory only)")
 	)
 	flag.Parse()
 	if *version {
@@ -136,6 +151,19 @@ func main() {
 	if !*quiet {
 		cfg.Logger = slog.New(handler)
 	}
+	var st *store.Store
+	if *storeMem > 0 {
+		var err error
+		st, err = store.New(store.Config{MaxBytes: *storeMem, Dir: *storeDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsn-serve: -store-dir %q: %v\n", *storeDir, err)
+			os.Exit(2)
+		}
+		cfg.Store = st
+		if *storeDir != "" {
+			logger.Printf("result store: %d MiB memory over %s", *storeMem>>20, *storeDir)
+		}
+	}
 	if *peers != "" {
 		var fleet []string
 		for _, p := range strings.Split(*peers, ",") {
@@ -143,13 +171,19 @@ func main() {
 				fleet = append(fleet, strings.TrimRight(p, "/"))
 			}
 		}
-		cfg.Distributor = dist.New(dist.Options{
+		dopts := dist.Options{
 			Workers:      fleet,
 			ShardSize:    *shardSize,
 			ShardTimeout: *shardTimeout,
 			MaxAttempts:  *distAttempts,
 			Logger:       slog.New(handler),
-		})
+		}
+		if st != nil {
+			// The coordinator shares the server's store: prefilled shards
+			// are never dispatched, merged results seed the next query.
+			dopts.Store = st
+		}
+		cfg.Distributor = dist.New(dopts)
 		logger.Printf("coordinator mode: %d workers %v", len(fleet), fleet)
 	}
 

@@ -158,6 +158,44 @@
 // straggler speculation, fleet membership) expose the same machinery
 // operationally.
 //
+// # Result store
+//
+// The same purity argument that lets any shard run on any machine also
+// makes every result reusable: a plan task's bytes are a pure function of
+// (query, index), so internal/store addresses them by content. The key is
+// the SHA-256 of the query's canonical encoding — a normalized, byte-stable
+// JSON form in which the execution-only fields (workers, trace,
+// timeout_ms) are zeroed, so two queries share a cache line exactly when
+// they describe the same computation, regardless of how parallel either
+// run was. Under each query key the store holds the encoded per-task
+// results and, for untraced queries, the full encoded ResultSet.
+//
+// The store is two-tiered. A bytes-bounded in-memory LRU (wsn-serve
+// -store-mem, 0 disables) fronts an optional on-disk tier (-store-dir)
+// whose files carry a trailing SHA-256 and are written
+// temp-file-then-rename, so a crash mid-write or a flipped bit on disk
+// degrades to a cache miss and a recompute — never a wrong byte. Because
+// hits replay stored encodings, a cached answer is bit-identical to a
+// fresh one; tests pin this at every layer.
+//
+// What it buys operationally:
+//
+//   - A repeated /v2/query is answered O(1) from the stored ResultSet with
+//     zero engine work, and /v2/query/stream replays the same bytes.
+//   - An interrupted stream persists the tasks it completed; the client's
+//     retry resumes from those and recomputes only the remainder.
+//   - In a fleet, the coordinator consults the store before dispatching
+//     and stores every shard the workers return, while each worker's own
+//     /v2/tasks handler serves cached task lines without recomputing.
+//     Workers sharing a store directory make the fleet one shared shard
+//     cache: any machine's past work answers any machine's future query.
+//
+// Scenario and experiment queries are excluded (their wire encoding
+// is not exact under re-encoding); traced queries bypass the whole-query
+// byte cache — traces are measured, not computed — but still reuse and
+// populate per-task entries. The wsn_store_* families below expose hit
+// rates, resident bytes and disk health.
+//
 // # Observability
 //
 // GET /metrics serves the server's telemetry in the Prometheus text format
@@ -204,6 +242,14 @@
 //	wsn_dist_tasks_served_total                 counter    /v2/tasks lines served to coordinators
 //	wsn_dist_workers_ready                      gauge      workers currently admitted
 //	wsn_dist_workers_evicted                    gauge      workers pending readmission
+//	wsn_store_hits_total                        counter    results served from the store
+//	wsn_store_misses_total                      counter    lookups that fell through to compute
+//	wsn_store_puts_total                        counter    entries written
+//	wsn_store_evictions_total                   counter    memory-tier LRU evictions
+//	wsn_store_disk_hits_total                   counter    misses promoted from the disk tier
+//	wsn_store_disk_errors_total                 counter    disk entries rejected (corrupt/unreadable)
+//	wsn_store_bytes                             gauge      memory-tier resident bytes
+//	wsn_store_entries                           gauge      memory-tier resident entries
 //
 // A minimal Prometheus scrape config:
 //

@@ -53,6 +53,22 @@ type Options struct {
 	// RetrySeed seeds the backoff jitter (0 ⇒ 1). Deterministic so tests
 	// can pin schedules; results never depend on it.
 	RetrySeed int64
+	// Store, when set, is the coordinator's slice of the content-addressed
+	// result store (store.Store implements it): task results already stored
+	// under the query's content key are adopted before any span is
+	// dispatched, and every accepted remote result is stored for the next
+	// query — re-dispatched and speculated ranges whose tasks are stored
+	// become lookups instead of recomputes. Stored results are byte-identical
+	// to computed ones by the store's contract, so this changes dispatch
+	// volume only, never merged bytes.
+	Store Store
+}
+
+// Store is the narrow store seam the coordinator needs: a per-query task
+// view keyed by content hash. store.Store implements it; the indirection
+// keeps this package independent of the store's tiering.
+type Store interface {
+	Tasks(q query.Query) query.TaskStore
 }
 
 // Coordinator shards compiled plans across a worker fleet and merges the
@@ -158,6 +174,10 @@ type distRun struct {
 	haveCount int
 	nextYield int
 	start     time.Time
+	// view is the query's slice of the content-addressed store (nil when no
+	// store is configured or the query is not cacheable): read during
+	// prefill, written as remote results are accepted.
+	view query.TaskStore
 
 	ch       chan msg
 	pending  []span
@@ -206,10 +226,30 @@ func (c *Coordinator) Distribute(ctx context.Context, q query.Query, plan *query
 		flights: make(map[int]*flight),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
+	if c.opts.Store != nil && plan.Kind.WireExact() {
+		if v := c.opts.Store.Tasks(q); v != nil {
+			r.view = v
+			if plan.Store == nil {
+				// Local fallback flights run through the plan, so give the
+				// plan the same view: local execution then reads and writes
+				// the store exactly like remote dispatch does.
+				plan.Store = v
+			}
+		}
+	}
 	return r.run()
 }
 
 func (r *distRun) run() (*query.ResultSet, error) {
+	if err := r.prefill(); err != nil {
+		return nil, err
+	}
+	if r.haveCount == r.n {
+		// Every task was already in the store: the query completes without
+		// probing a single worker.
+		QueriesTotal.Inc()
+		return r.finish()
+	}
 	r.admit()
 	defer func() {
 		for _, ws := range r.workers {
@@ -221,12 +261,25 @@ func (r *distRun) run() (*query.ResultSet, error) {
 		}
 	}()
 	if r.readyCount() == 0 {
-		// No worker admitted: degrade to plain local execution.
+		// No worker admitted: degrade to plain local execution. Tasks the
+		// prefill already yielded must not be yielded twice, so the local
+		// pass skips that prefix (plan order matches index order here).
 		LocalFallbackTotal.Inc()
 		r.c.opts.Logger.Warn("dist: no workers ready, running locally", "fleet", len(r.c.opts.Workers))
-		rs, err := r.plan.Execute(r.ctx, r.local, r.yield)
+		remaining := r.n - r.haveCount
+		yield := r.yield
+		if yield != nil && r.nextYield > 0 {
+			already := r.nextYield
+			yield = func(tr query.TaskResult) error {
+				if tr.Index < already {
+					return nil
+				}
+				return r.yield(tr)
+			}
+		}
+		rs, err := r.plan.Execute(r.ctx, r.local, yield)
 		if err == nil {
-			TasksLocalTotal.Add(uint64(r.n))
+			TasksLocalTotal.Add(uint64(remaining))
 		}
 		return rs, err
 	}
@@ -234,10 +287,24 @@ func (r *distRun) run() (*query.ResultSet, error) {
 
 	shard := r.c.opts.ShardSize
 	if shard <= 0 {
-		shard = max(1, (r.n+2*r.readyCount()-1)/(2*r.readyCount()))
+		remaining := r.n - r.haveCount
+		shard = max(1, (remaining+2*r.readyCount()-1)/(2*r.readyCount()))
 	}
-	for from := 0; from < r.n; from += shard {
-		r.pending = append(r.pending, span{from: from, to: min(from+shard, r.n)})
+	// Pending spans cover the maximal runs the prefill left unfilled; a
+	// warm store dispatches only the holes.
+	for i := 0; i < r.n; {
+		if r.have[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < r.n && !r.have[j] {
+			j++
+		}
+		for from := i; from < j; from += shard {
+			r.pending = append(r.pending, span{from: from, to: min(from+shard, j)})
+		}
+		i = j
 	}
 
 	ticker := time.NewTicker(25 * time.Millisecond)
@@ -268,6 +335,54 @@ func (r *distRun) run() (*query.ResultSet, error) {
 	for _, f := range r.flights {
 		f.cancel()
 	}
+	return r.finish()
+}
+
+// prefill adopts every task result already stored under the query's content
+// key before anything is dispatched, then yields the contiguous prefix.
+// Stored bytes are byte-identical to computed ones, so adoption changes
+// dispatch volume only. An entry that fails to decode is simply skipped —
+// the span machinery recomputes it.
+func (r *distRun) prefill() error {
+	if r.view == nil {
+		return nil
+	}
+	for i := 0; i < r.n; i++ {
+		b, ok := r.view.GetTask(i)
+		if !ok {
+			continue
+		}
+		tr, err := query.DecodeTaskResult(b)
+		if err != nil {
+			continue
+		}
+		r.have[i] = true
+		r.results[i] = tr
+		r.haveCount++
+	}
+	if r.haveCount > 0 {
+		r.c.opts.Logger.Debug("dist: prefilled from store", "tasks", r.haveCount, "of", r.n)
+	}
+	return r.drainYield()
+}
+
+// drainYield delivers the contiguous completed prefix to the caller's yield
+// in plan order.
+func (r *distRun) drainYield() error {
+	for r.nextYield < r.n && r.have[r.nextYield] {
+		if r.yield != nil {
+			if err := r.yield(r.results[r.nextYield]); err != nil {
+				return err
+			}
+		}
+		r.nextYield++
+	}
+	return nil
+}
+
+// finish assembles the completed result vector into the final ResultSet and
+// attaches the execution trace when the query opted in.
+func (r *distRun) finish() (*query.ResultSet, error) {
 	rs, err := r.plan.Assemble(r.results)
 	if err != nil {
 		return nil, err
@@ -505,14 +620,17 @@ func (r *distRun) onLine(m msg) error {
 			TasksLocalTotal.Inc()
 		} else {
 			TasksRemoteTotal.Inc()
-		}
-		for r.nextYield < r.n && r.have[r.nextYield] {
-			if r.yield != nil {
-				if err := r.yield(r.results[r.nextYield]); err != nil {
-					return err
+			// Store accepted remote results under the query's content key;
+			// local flights store through the plan's own view. Re-dispatched
+			// or repeated queries then prefill instead of recomputing.
+			if r.view != nil {
+				if b, err := query.EncodeTaskResult(r.results[i]); err == nil {
+					r.view.PutTask(i, b)
 				}
 			}
-			r.nextYield++
+		}
+		if err := r.drainYield(); err != nil {
+			return err
 		}
 	}
 	return nil

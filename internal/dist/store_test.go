@@ -1,0 +1,177 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dense802154/internal/dist"
+	"dense802154/internal/query"
+	"dense802154/internal/service"
+	"dense802154/internal/store"
+)
+
+func newStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.New(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDistributeStoreWarmZeroDispatch: after one distributed run fills the
+// store, a coordinator sharing it completes the same query byte-identically
+// without touching the fleet at all — proven by handing the second
+// coordinator a transport that fails every call.
+func TestDistributeStoreWarmZeroDispatch(t *testing.T) {
+	st := newStore(t)
+	q := gridQuery()
+	want := localBytes(t, q)
+
+	opts := fastOpts(fleet(t, 2), nil)
+	opts.Store = st
+	if got := distribute(t, dist.New(opts), q); !bytes.Equal(got, want) {
+		t.Fatal("cold store-backed distribution deviates from local bytes")
+	}
+
+	before := snap()
+	warm := fastOpts([]string{"http://127.0.0.1:1"}, downTransport{})
+	warm.Store = st
+	if got := distribute(t, dist.New(warm), q); !bytes.Equal(got, want) {
+		t.Fatal("fully warm distribution deviates from local bytes")
+	}
+	after := snap()
+	if after.remote != before.remote {
+		t.Errorf("warm distribution dispatched %d tasks remotely, want 0", after.remote-before.remote)
+	}
+	if after.fallback != before.fallback {
+		t.Error("warm distribution fell back to local execution instead of prefilling")
+	}
+	if after.failures != before.failures {
+		t.Error("warm distribution probed the dead fleet")
+	}
+}
+
+// TestDistributePartialSeedDispatchesOnlyHoles seeds alternate tasks and
+// checks exactly the holes travel to the fleet, byte-identically — the
+// fleet-as-shared-shard-cache behavior, plus the coordinator back-filling
+// the store with what the fleet computed.
+func TestDistributePartialSeedDispatchesOnlyHoles(t *testing.T) {
+	q := gridQuery()
+	plan, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := plan.Execute(context.Background(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plan.NumTasks()
+
+	st := newStore(t)
+	view := st.Tasks(q)
+	if view == nil {
+		t.Fatal("grid query not cacheable")
+	}
+	seeded := 0
+	for i := 0; i < n; i += 2 {
+		b, err := query.EncodeTaskResult(rs.Results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		view.PutTask(i, b)
+		seeded++
+	}
+
+	want := localBytes(t, q)
+	opts := fastOpts(fleet(t, 2), nil)
+	opts.Store = st
+	before := snap()
+	if got := distribute(t, dist.New(opts), q); !bytes.Equal(got, want) {
+		t.Fatal("partially seeded distribution deviates from local bytes")
+	}
+	after := snap()
+	if got, wantRemote := after.remote-before.remote, uint64(n-seeded); got != wantRemote {
+		t.Errorf("dispatched %d tasks remotely, want %d (the holes)", got, wantRemote)
+	}
+
+	// The run back-filled the store: a dead-fleet coordinator now completes
+	// without dispatching anything.
+	dead := fastOpts([]string{"http://127.0.0.1:1"}, downTransport{})
+	dead.Store = st
+	mid := snap()
+	if got := distribute(t, dist.New(dead), q); !bytes.Equal(got, want) {
+		t.Fatal("back-filled store did not reproduce local bytes")
+	}
+	if end := snap(); end.remote != mid.remote || end.fallback != mid.fallback {
+		t.Error("back-filled store still dispatched or fell back")
+	}
+}
+
+// TestDistributeWorkerStoreSeeded seeds the *workers'* shared store through
+// a plain /v2/query to one of them; a storeless coordinator must then get
+// every shard served from the workers' cache, byte-identically.
+func TestDistributeWorkerStoreSeeded(t *testing.T) {
+	st := newStore(t)
+	urls := make([]string, 2)
+	for i := range urls {
+		ts := httptest.NewServer(service.NewServer(service.Config{Workers: 2, Store: st}))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	q := gridQuery()
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpPost(urls[0]+"/v2/query", string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != 200 {
+		t.Fatalf("seeding query status %d", resp)
+	}
+
+	hits0 := store.HitsTotal.Value()
+	c := dist.New(fastOpts(urls, nil)) // no coordinator-side store
+	if got := distribute(t, c, q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("worker-cached distribution deviates from local bytes")
+	}
+	if d := store.HitsTotal.Value() - hits0; d < 6 {
+		t.Errorf("workers served %d tasks from the store, want ≥ 6", d)
+	}
+}
+
+// TestDistributeStoreSurvivesMidStreamDrop is the satellite-1 pairing at the
+// coordinator layer with the store enabled: a mid-stream transport drop must
+// still re-dispatch (never abort) and complete byte-identically.
+func TestDistributeStoreSurvivesMidStreamDrop(t *testing.T) {
+	urls := fleet(t, 2)
+	ft := dist.NewFaultTransport(&dist.HTTPTransport{},
+		dist.Fault{Worker: urls[0], AtIndex: 1, Kind: dist.FaultDrop})
+	q := gridQuery()
+	opts := fastOpts(urls, ft)
+	opts.Store = newStore(t)
+	before := snap()
+	if got := distribute(t, dist.New(opts), q); !bytes.Equal(got, localBytes(t, q)) {
+		t.Fatal("bytes deviate after mid-stream drop with store enabled")
+	}
+	if after := snap(); after.redispatch == before.redispatch {
+		t.Fatal("mid-stream drop did not re-dispatch")
+	}
+}
+
+// httpPost posts a JSON body and returns the status code.
+func httpPost(url, body string) (int, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}

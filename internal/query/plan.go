@@ -174,6 +174,15 @@ type Plan struct {
 	// Timeout is the per-query execution deadline (Query.TimeoutMS;
 	// 0 = none). Execute and ExecuteRange bound their context with it.
 	Timeout time.Duration
+	// Store, when set, is the per-task result cache of this plan's query
+	// (store.Store.Tasks keys one to the query's content hash): Execute and
+	// ExecuteRange consult it before computing a task and store what they
+	// compute. Stored results carry wire payloads only, so a store-enabled
+	// plan assembles through the wire path — bit-identical to the in-process
+	// one by the exact-round-trip float contract. Attach it between Compile
+	// and Execute; it never changes result bytes, only whether they are
+	// recomputed.
+	Store TaskStore
 
 	numTasks int
 	labels   []string
@@ -271,7 +280,11 @@ func (p *Plan) Execute(ctx context.Context, workers int, yield func(TaskResult) 
 		if spans != nil {
 			taskStart = time.Now()
 		}
-		r, err := ex.tasks[i].run(ctx)
+		r, hit := p.taskFromStore(i)
+		var err error
+		if !hit {
+			r, err = ex.tasks[i].run(ctx)
+		}
 		if spans != nil {
 			spans[i] = TaskSpanWire{
 				Index:  i,
@@ -285,6 +298,9 @@ func (p *Plan) Execute(ctx context.Context, workers int, yield func(TaskResult) 
 		}
 		r.Index = i
 		r.Label = ex.tasks[i].label
+		if !hit {
+			p.storeTask(r)
+		}
 		results[i] = r
 		return nil
 	}
@@ -336,7 +352,14 @@ func (p *Plan) Execute(ctx context.Context, workers int, yield func(TaskResult) 
 	}
 
 	rs := &ResultSet{Version: Version, Kind: p.Kind, Results: results}
-	if ex.assemble != nil {
+	if p.storeEnabled() && ex.assembleWire != nil {
+		// Store hits carry wire payloads only (no in-process value), so the
+		// summary is recomputed from the wire — bit-identical by the
+		// exact-round-trip contract Plan.Assemble already relies on.
+		if aerr := ex.assembleWire(rs); aerr != nil {
+			return nil, aerr
+		}
+	} else if ex.assemble != nil {
 		ex.assemble(rs)
 	}
 	if spans != nil {
@@ -386,13 +409,20 @@ func (p *Plan) ExecuteRange(ctx context.Context, workers, from, to int, yield fu
 		mapErr = engine.Map(ctx, workers, n, func(i int) error {
 			idx := from + i
 			start := time.Now()
-			r, err := ex.tasks[idx].run(ctx)
-			if err != nil {
-				return err
+			r, hit := p.taskFromStore(idx)
+			if !hit {
+				var err error
+				r, err = ex.tasks[idx].run(ctx)
+				if err != nil {
+					return err
+				}
 			}
 			walls[i] = time.Since(start).Seconds() * 1e3
 			r.Index = idx
 			r.Label = ex.tasks[idx].label
+			if !hit {
+				p.storeTask(r)
+			}
 			results[i] = r
 			select {
 			case done <- i:

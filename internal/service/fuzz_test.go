@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dense802154/internal/query"
+	"dense802154/internal/store"
 )
 
 // The service decodes attacker-controlled JSON. These fuzz targets pin the
@@ -191,6 +192,10 @@ func FuzzQueryDecode(f *testing.F) {
 		`{"kind":"replicas","sim":{"nodes":10},"replicas":4,"timeout_ms":9223372036854775807}`,
 		`{"unknown":1}`,
 		`{"kind":"evaluate"} trailing`,
+		`{"kind":"evaluate","workers":8}`,
+		`{"kind":"evaluate","trace":true}`,
+		`{"kind":"evaluate","workers":4,"trace":true,"timeout_ms":60000}`,
+		`{"version":2,"kind":"grid","losses":{"values":[55,70]},"workers":16,"trace":true}`,
 	} {
 		f.Add([]byte(seed))
 	}
@@ -198,6 +203,29 @@ func FuzzQueryDecode(f *testing.F) {
 		var q query.Query
 		if err := strictDecode(data, &q); err != nil {
 			return // rejection is fine; panics are not
+		}
+		// Content-key stability (internal/store leans on this): the
+		// canonical form is deterministic, and the key-neutral fields —
+		// workers, trace, timeout_ms — never change it or the derived key.
+		can1, ok1 := q.Canonical()
+		can2, ok2 := q.Canonical()
+		if ok1 != ok2 || !bytes.Equal(can1, can2) {
+			t.Fatalf("canonical form of %q not deterministic", data)
+		}
+		if ok1 {
+			neutral := q
+			neutral.Workers = q.Workers + 3
+			neutral.Trace = !q.Trace
+			neutral.TimeoutMS = q.TimeoutMS + 1000
+			can3, ok3 := neutral.Canonical()
+			if !ok3 || !bytes.Equal(can1, can3) {
+				t.Fatalf("key-neutral fields changed the canonical form of %q", data)
+			}
+			k1, kok1 := store.KeyFor(q)
+			k3, kok3 := store.KeyFor(neutral)
+			if !kok1 || !kok3 || k1 != k3 {
+				t.Fatalf("key-neutral fields changed the content key of %q", data)
+			}
 		}
 		plan, err := query.Compile(q)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"dense802154/internal/query"
+	"dense802154/internal/store"
 )
 
 // ---- POST /v2/query, POST /v2/query/stream ----
@@ -57,6 +58,28 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 	return context.WithCancel(r.Context())
 }
 
+// resultKey returns the whole-query store key of q when its response bytes
+// are cacheable: a store is configured, the query has a canonical wire form
+// (no Direct inputs) and tracing is off — traces carry measured wall times,
+// which are never part of result bytes, so a traced query bypasses the
+// whole-query cache entirely (its per-task results still flow through the
+// plan-level store, which holds no trace data).
+func (s *Server) resultKey(q query.Query) (store.Key, bool) {
+	if s.cfg.Store == nil || q.Trace {
+		return store.Key{}, false
+	}
+	return store.KeyFor(q)
+}
+
+// attachStore wires the per-task result store into a compiled plan so
+// execution reuses stored tasks and persists computed ones. Tasks does its
+// own cacheability gating (nil for Direct queries).
+func (s *Server) attachStore(q query.Query, plan *query.Plan) {
+	if s.cfg.Store != nil {
+		plan.Store = s.cfg.Store.Tasks(q)
+	}
+}
+
 // execQuery runs a compiled plan through the configured Distributor when one
 // exists (coordinator mode), locally otherwise.
 func (s *Server) execQuery(ctx context.Context, q query.Query, plan *query.Plan, workers int, yield func(query.TaskResult) error) (*query.ResultSet, error) {
@@ -72,6 +95,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.countQuery(plan)
+	// A whole-query store hit is served before any worker token is taken:
+	// the stored bytes are the exact bytes a previous identical query
+	// answered with, so the hit path is O(1) and executes nothing.
+	key, cacheable := s.resultKey(q)
+	if cacheable {
+		if body, ok := s.cfg.Store.GetResult(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	s.attachStore(q, plan)
 	got, release, ok := s.acquireWorkers(w, r, q.Workers)
 	if !ok {
 		return
@@ -90,6 +126,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error(), "")
 		return
 	}
+	if cacheable {
+		s.cfg.Store.PutResult(key, body)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
@@ -107,12 +146,52 @@ type queryStreamLine struct {
 	Trace   *query.PlanTraceWire      `json:"trace,omitempty"`
 }
 
+// writeStreamFromResult replays a stored ResultSet body as the NDJSON stream
+// a fresh execution would produce: one line per task in plan order, then the
+// done line. The per-line bytes are identical to a fresh stream because the
+// stored elements re-encode exactly (the caller gates on Kind.WireExact).
+// Returns false — without having written anything — when the stored bytes do
+// not decode, so the caller falls through to a fresh computation.
+func (s *Server) writeStreamFromResult(w http.ResponseWriter, body []byte) bool {
+	var rs query.ResultSet
+	if err := json.Unmarshal(body, &rs); err != nil {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i := range rs.Results {
+		if err := enc.Encode(rs.Results[i]); err != nil {
+			return true // client went away mid-replay
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(queryStreamLine{Done: true, Count: len(rs.Results), Summary: rs.Summary})
+	return true
+}
+
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	q, plan, ok := s.decodeQuery(w, r)
 	if !ok {
 		return
 	}
 	s.countQuery(plan)
+	// A stored whole-query body replays as the stream without executing
+	// anything — gated on kinds whose elements re-encode byte-identically.
+	key, cacheable := s.resultKey(q)
+	if cacheable && q.Kind.WireExact() {
+		if body, ok := s.cfg.Store.GetResult(key); ok && s.writeStreamFromResult(w, body) {
+			return
+		}
+	}
+	// Attaching the per-task store is also what makes interrupted streams
+	// resumable: every task computed before a disconnect was persisted, so
+	// the retried stream reuses them and recomputes only the remainder.
+	s.attachStore(q, plan)
 	got, release, ok := s.acquireWorkers(w, r, q.Workers)
 	if !ok {
 		return
@@ -152,6 +231,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return
+	}
+	if cacheable {
+		if body, err := rs.Encode(); err == nil {
+			s.cfg.Store.PutResult(key, body)
+		}
 	}
 	_ = enc.Encode(queryStreamLine{Done: true, Count: count, Summary: rs.Summary, Trace: rs.Trace})
 }

@@ -70,10 +70,12 @@
 //	wsn_build_info{version,revision,goversion} gauge      constant 1, build identification
 //
 // plus the engine worker-pool metrics (wsn_engine_*), the contention cache
-// (wsn_contention_cache_*), the simulator run counters (wsn_netsim_*) and
-// the distributed-execution families (wsn_dist_*: queries, shard
+// (wsn_contention_cache_*), the simulator run counters (wsn_netsim_*), the
+// distributed-execution families (wsn_dist_*: queries, shard
 // dispatches, retries, re-dispatches, straggler speculation, remote/local
-// task counts, fleet membership); see the RegisterMetrics doc of each
+// task counts, fleet membership) and the content-addressed result store
+// (wsn_store_*: hits, misses, puts, evictions, disk hits/errors, resident
+// bytes and entries); see the RegisterMetrics doc of each
 // package. Those families read
 // process-wide sources, so two servers in one process scrape one truth.
 //
@@ -119,6 +121,7 @@ import (
 	"dense802154/internal/engine"
 	"dense802154/internal/netsim"
 	"dense802154/internal/query"
+	"dense802154/internal/store"
 	"dense802154/internal/telemetry"
 )
 
@@ -154,6 +157,14 @@ type Config struct {
 	// deadline is answered with a structured 504; a query's own timeout_ms,
 	// when tighter, wins.
 	QueryTimeout time.Duration
+	// Store, when set, is the content-addressed result store consulted by
+	// the v2 routes: /v2/query and /v2/query/stream answer repeated
+	// (untraced) queries from stored whole-query bytes in O(1), every
+	// executed plan reuses and persists per-task results, and /v2/tasks
+	// serves stored tasks without recomputing — which makes a worker fleet a
+	// shared shard cache. Cached bytes equal freshly computed bytes always;
+	// the store changes cost, never results.
+	Store *store.Store
 	// FaultExitAfterTasks, when positive, makes the process exit with
 	// status 3 after serving this many /v2/tasks lines — a deterministic
 	// mid-stream worker death for multi-process fault-injection tests.
@@ -334,6 +345,7 @@ func (s *Server) registerMetrics() {
 	contention.RegisterMetrics(r)
 	netsim.RegisterMetrics(r)
 	dist.RegisterMetrics(r)
+	store.RegisterMetrics(r)
 }
 
 // Metrics exposes the server's telemetry registry (tests and embedders

@@ -4,12 +4,25 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 
 	"dense802154/internal/dist"
 	"dense802154/internal/query"
 )
+
+// errStreamWrite marks a failure writing a task line back to the
+// coordinator. It exists to keep the two failure families apart: a stream
+// write failure is a transport fault (the coordinator re-dispatches the
+// range elsewhere), while an error from a task itself is deterministic (the
+// same pure task fails identically anywhere, so the coordinator aborts).
+// Without the sentinel, a broken pipe surfacing through the ExecuteRange
+// yield before r.Context() is canceled would be reported as a TaskLine
+// error — and if that line partially landed (e.g. through a buffering
+// proxy), the coordinator would abort the whole query instead of retrying
+// the shard.
+var errStreamWrite = errors.New("service: task stream write failed")
 
 // ---- POST /v2/tasks ----
 //
@@ -43,6 +56,10 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "task range outside plan", "range")
 		return
 	}
+	// Worker-side store: tasks another query (or another coordinator) left
+	// behind are served without recomputing, and everything computed here is
+	// stored — the fleet-wide shared shard cache.
+	s.attachStore(req.Query, plan)
 	got, release, ok := s.acquireWorkers(w, r, req.Workers)
 	if !ok {
 		return
@@ -59,7 +76,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 	err = plan.ExecuteRange(r.Context(), got, req.From, req.To, func(tr query.TaskResult, wallMS float64) error {
 		res := tr
 		if err := enc.Encode(dist.TaskLine{Index: tr.Index, WallMS: wallMS, Result: &res}); err != nil {
-			return err
+			return fmt.Errorf("%w: %v", errStreamWrite, err)
 		}
 		count++
 		dist.TasksServedTotal.Inc()
@@ -74,9 +91,12 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// Coordinator gone or deadline hit: the truncated stream is the
-			// signal; the range is transport-retryable elsewhere.
+		if errors.Is(err, errStreamWrite) || r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Coordinator gone, write failed or deadline hit: the truncated
+			// stream is the signal; the range is transport-retryable
+			// elsewhere. Emitting a TaskLine error here would misreport a
+			// transport fault as a deterministic compute failure and make the
+			// coordinator abort instead of re-dispatching.
 			return
 		}
 		// A compute error is deterministic — the same pure task fails the

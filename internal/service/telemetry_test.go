@@ -56,6 +56,14 @@ var requiredFamilies = []string{
 	"wsn_netsim_backoffs_total",
 	"wsn_netsim_prune_fallback_total",
 	"wsn_netsim_heap_depth_max",
+	"wsn_store_hits_total",
+	"wsn_store_misses_total",
+	"wsn_store_puts_total",
+	"wsn_store_evictions_total",
+	"wsn_store_disk_hits_total",
+	"wsn_store_disk_errors_total",
+	"wsn_store_bytes",
+	"wsn_store_entries",
 }
 
 // TestMetricsEndpoint drives a small workload through the server, scrapes
