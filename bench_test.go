@@ -13,11 +13,15 @@ package dense802154_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"dense802154"
+	"dense802154/internal/battery"
 	"dense802154/internal/contention"
 	"dense802154/internal/core"
+	"dense802154/internal/des"
 	"dense802154/internal/experiments"
+	"dense802154/internal/lifetime"
 	"dense802154/internal/netsim"
 	"dense802154/internal/phy"
 	"dense802154/internal/query"
@@ -270,6 +274,38 @@ func BenchmarkRunReplicas(b *testing.B) {
 		if _, err := netsim.RunReplicas(context.Background(), cfg, 8, 2); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDESFastForward mirrors the wsn-bench suite's DESFastForward
+// workload: a pre-sorted sparse timeline parked in the kernel's far band and
+// drained in one go — the idle fast-forward path of a lifetime run.
+func BenchmarkDESFastForward(b *testing.B) {
+	b.ReportAllocs()
+	s := des.New(1)
+	s.SetDispatcher(func(kind, actor int32, arg time.Duration) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4096; j++ {
+			s.ScheduleEvent(time.Duration(j)*time.Millisecond, 0, 0, 0)
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkNetsimLifetime mirrors the wsn-bench suite's NetsimLifetime
+// workload: one full battery-lifetime integration — epoch-sampled DES with
+// steady-state fast-forward — until the last of eight nodes dies.
+func BenchmarkNetsimLifetime(b *testing.B) {
+	b.ReportAllocs()
+	cfg := lifetime.Config{
+		Sim:              netsim.Config{Nodes: 8, Superframes: 1},
+		Supply:           battery.Supply{CapacityJ: 0.5, SelfDischargePerYear: 0.01},
+		EpochSuperframes: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Sim.Seed = int64(i)
+		lifetime.Run(cfg)
 	}
 }
 

@@ -35,11 +35,13 @@ import (
 	"time"
 
 	"dense802154"
+	"dense802154/internal/battery"
 	"dense802154/internal/buildinfo"
 	"dense802154/internal/contention"
 	"dense802154/internal/core"
 	"dense802154/internal/des"
 	"dense802154/internal/engine"
+	"dense802154/internal/lifetime"
 	"dense802154/internal/netsim"
 	"dense802154/internal/query"
 	"dense802154/internal/store"
@@ -189,6 +191,35 @@ func suite(quick bool) []namedBench {
 				}
 			}
 			s.Run()
+		}},
+		{"DESFastForward", func(b *testing.B) {
+			// A pre-sorted sparse timeline — thousands of beacon-grid
+			// instants with nothing between them — parked and drained in one
+			// go: the idle fast-forward path of a lifetime run.
+			b.ReportAllocs()
+			s := des.New(1)
+			s.SetDispatcher(func(kind, actor int32, arg time.Duration) {})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 4096; j++ {
+					s.ScheduleEvent(time.Duration(j)*time.Millisecond, 0, 0, 0)
+				}
+				s.Run()
+			}
+		}},
+		{"NetsimLifetime", func(b *testing.B) {
+			// One full battery-lifetime integration: epoch-sampled DES with
+			// steady-state fast-forward until the last node dies.
+			b.ReportAllocs()
+			cfg := lifetime.Config{
+				Sim:              netsim.Config{Nodes: 8, Superframes: 1},
+				Supply:           battery.Supply{CapacityJ: 0.5, SelfDischargePerYear: 0.01},
+				EpochSuperframes: 4,
+			}
+			for i := 0; i < b.N; i++ {
+				cfg.Sim.Seed = int64(i)
+				lifetime.Run(cfg)
+			}
 		}},
 		{"EngineRNG", func(b *testing.B) {
 			b.ReportAllocs()

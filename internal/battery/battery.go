@@ -60,28 +60,43 @@ func (s Supply) Margin(load units.Power) units.Power {
 }
 
 // Lifetime reports how long the supply sustains a constant load. It
-// returns (0, false) for a non-positive load with no meaning, and
-// (∞-like, true)=(math.MaxInt64, true) when the harvester alone covers
-// the load.
+// returns (0, false) for a non-positive or non-finite load with no
+// meaning, and (∞-like, true)=(math.MaxInt64, true) when the supply is
+// unconstrained: the harvester alone covers the load, the capacity is
+// unbounded, or no finite battery is modeled at all (CapacityJ <= 0, the
+// zero-value Supply — absent a declared capacity there is nothing to
+// exhaust).
 func (s Supply) Lifetime(load units.Power) (time.Duration, bool) {
-	if load <= 0 {
+	if load <= 0 || math.IsNaN(float64(load)) || math.IsInf(float64(load), 1) {
 		return 0, false
 	}
 	net := float64(load - s.Harvest)
 	if net <= 0 {
 		return time.Duration(math.MaxInt64), true
 	}
-	if s.CapacityJ <= 0 {
-		return 0, true
+	if s.CapacityJ <= 0 || math.IsInf(s.CapacityJ, 1) {
+		return time.Duration(math.MaxInt64), true
 	}
 	// Self-discharge as an equivalent constant drain of the mean charge
 	// (a first-order approximation; exact treatment is exponential).
 	selfDrain := s.CapacityJ / 2 * s.SelfDischargePerYear / (365.25 * 24 * 3600)
 	seconds := s.CapacityJ / (net + selfDrain)
-	if seconds > 1e12 {
+	if !(seconds <= 1e12) { // catches NaN from hostile field values too
 		return time.Duration(math.MaxInt64), true
 	}
 	return time.Duration(seconds * float64(time.Second)), true
+}
+
+// SelfDischargeDrain reports the supply's self-discharge as an equivalent
+// constant power drain of the mean charge — the same first-order
+// approximation Lifetime folds into its denominator, exported so per-node
+// battery integrations (internal/lifetime) deplete consistently with the
+// closed-form answer. It is zero when no finite capacity is modeled.
+func (s Supply) SelfDischargeDrain() units.Power {
+	if s.CapacityJ <= 0 || math.IsInf(s.CapacityJ, 1) || math.IsNaN(s.CapacityJ) {
+		return 0
+	}
+	return units.Power(s.CapacityJ / 2 * s.SelfDischargePerYear / (365.25 * 24 * 3600))
 }
 
 // LifetimeString renders a lifetime in calendar units.

@@ -48,9 +48,11 @@ func TestHarvesterSustainability(t *testing.T) {
 	if !ok || d != time.Duration(math.MaxInt64) {
 		t.Fatalf("sustainable load lifetime = (%v, %v), want indefinite", d, ok)
 	}
-	// Harvester with no battery under overload: instant death.
-	if d, _ := h.Lifetime(211 * units.MicroWatt); d != 0 {
-		t.Fatalf("battery-less overload lifetime = %v, want 0", d)
+	// A supply with no declared capacity models an unconstrained source:
+	// there is no finite battery to exhaust, so even an overload reports
+	// indefinite (Sustainable and Margin still expose the deficit).
+	if d, ok := h.Lifetime(211 * units.MicroWatt); !ok || d != time.Duration(math.MaxInt64) {
+		t.Fatalf("capacity-less overload lifetime = (%v, %v), want indefinite", d, ok)
 	}
 }
 
@@ -81,6 +83,61 @@ func TestLifetimeEdgeCases(t *testing.T) {
 	d, ok := Supply{CapacityJ: 1e9}.Lifetime(1 * units.NanoWatt)
 	if !ok || d != time.Duration(math.MaxInt64) {
 		t.Errorf("immense lifetime must clamp to indefinite, got %v", d)
+	}
+}
+
+// TestLifetimeDegenerateSupplies pins the divide-by-zero and non-finite
+// corners: no input combination may surface a NaN-backed Duration, and
+// supplies without a finite battery constraint (zero, negative or infinite
+// capacity) always report an indefinite lifetime.
+func TestLifetimeDegenerateSupplies(t *testing.T) {
+	indefinite := time.Duration(math.MaxInt64)
+	load := 211 * units.MicroWatt
+	cases := []struct {
+		name   string
+		s      Supply
+		load   units.Power
+		wantD  time.Duration
+		wantOK bool
+	}{
+		{"zero-capacity", Supply{}, load, indefinite, true},
+		{"zero-capacity with self-discharge", Supply{SelfDischargePerYear: 0.02}, load, indefinite, true},
+		{"negative capacity", Supply{CapacityJ: -5}, load, indefinite, true},
+		{"infinite capacity", Supply{CapacityJ: math.Inf(1), SelfDischargePerYear: 0.01}, load, indefinite, true},
+		{"NaN capacity", Supply{CapacityJ: math.NaN()}, load, indefinite, true},
+		{"harvest covers load", Supply{CapacityJ: 10, Harvest: load}, load, indefinite, true},
+		{"harvest exceeds load", Supply{Harvest: 2 * load}, load, indefinite, true},
+		{"NaN load", CoinCellCR2032(), units.Power(math.NaN()), 0, false},
+		{"infinite load", CoinCellCR2032(), units.Power(math.Inf(1)), 0, false},
+		{"NaN self-discharge", Supply{CapacityJ: 2430, SelfDischargePerYear: math.NaN()}, load, indefinite, true},
+	}
+	for _, tc := range cases {
+		d, ok := tc.s.Lifetime(tc.load)
+		if ok != tc.wantOK || d != tc.wantD {
+			t.Errorf("%s: Lifetime = (%v, %v), want (%v, %v)", tc.name, d, ok, tc.wantD, tc.wantOK)
+		}
+		if d < 0 {
+			t.Errorf("%s: negative duration %v (NaN leak)", tc.name, d)
+		}
+	}
+}
+
+// TestSelfDischargeDrainConsistency: integrating CapacityJ at a constant
+// load plus SelfDischargeDrain must land on the same instant Lifetime
+// predicts — the contract per-node battery integrations rely on.
+func TestSelfDischargeDrainConsistency(t *testing.T) {
+	s := CoinCellCR2032()
+	load := 211 * units.MicroWatt
+	d, ok := s.Lifetime(load)
+	if !ok {
+		t.Fatal("no lifetime")
+	}
+	integrated := s.CapacityJ / float64(load+s.SelfDischargeDrain())
+	if got := d.Seconds(); math.Abs(got-integrated) > 1 {
+		t.Fatalf("Lifetime %v s vs integrated %v s", got, integrated)
+	}
+	if (Supply{}).SelfDischargeDrain() != 0 {
+		t.Error("capacity-less supply must have zero self-discharge drain")
 	}
 }
 

@@ -19,6 +19,22 @@
 // pushing reuses the slice capacity, and popped events are plain struct
 // copies.
 //
+// # Idle fast-forward: the parked far band
+//
+// Long quiescent spans — a lifetime run ticking through thousands of
+// pre-scheduled beacons with almost no traffic between them — would pay a
+// full heap sift per beacon even though the beacons arrive pre-sorted. The
+// queue therefore has two bands. An event pushed at or after the latest
+// parked instant appends to the far band, a sorted FIFO consumed from the
+// front: O(1) push, O(1) pop. Anything earlier goes through the 4-ary near
+// heap as before. Step and peek always compare the near root against the
+// far head under the same (at, seq) order and take the global minimum, so
+// the firing sequence is identical to a single heap, event for event — the
+// split is purely a cost optimization and can never reorder a run. A model
+// that pre-schedules its timeline in ascending order (netsim's beacon
+// grid, lifetime epochs) parks it for free and fast-forwards across idle
+// spans at one comparison per event instead of one sift.
+//
 // Handlers come in two flavours:
 //
 //   - Typed dispatch (the hot path): the model registers one Dispatcher
@@ -89,14 +105,16 @@ type slot struct {
 // Simulator is a discrete-event simulator instance.
 type Simulator struct {
 	now      time.Duration
-	heap     []event
+	heap     []event // near band: 4-ary min-heap
+	far      []event // far band: sorted FIFO, consumed from farHead
+	farHead  int
 	slots    []slot
 	free     []int32
 	live     int // scheduled and not cancelled
 	seq      uint64
 	rng      engine.RNG
 	fired    uint64
-	maxDepth int // deepest the event heap has grown this run
+	maxDepth int // deepest the two bands have grown together this run
 	dispatch Dispatcher
 }
 
@@ -118,6 +136,11 @@ func (s *Simulator) Reset(seed int64) {
 		s.heap[i] = event{} // drop closure and payload references
 	}
 	s.heap = s.heap[:0]
+	for i := s.farHead; i < len(s.far); i++ {
+		s.far[i] = event{}
+	}
+	s.far = s.far[:0]
+	s.farHead = 0
 	s.free = s.free[:0]
 	for i := range s.slots {
 		s.slots[i].gen++
@@ -145,10 +168,16 @@ func (s *Simulator) Rand() *engine.RNG { return &s.rng }
 // Fired reports the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// MaxHeapDepth reports the deepest the event heap has grown since the last
-// Reset — the peak number of simultaneously pending heap entries, a direct
-// measure of scheduling pressure on the 4-ary heap.
+// MaxHeapDepth reports the deepest the event queue has grown since the last
+// Reset — the peak number of simultaneously pending entries across both
+// bands, a direct measure of scheduling pressure.
 func (s *Simulator) MaxHeapDepth() int { return s.maxDepth }
+
+// FarDepth reports the number of entries currently parked in the far band
+// (cancelled entries included until they are lazily collected). It exists
+// for tests and benchmarks that assert the fast-forward band is actually
+// absorbing a pre-scheduled timeline.
+func (s *Simulator) FarDepth() int { return len(s.far) - s.farHead }
 
 // Pending reports the number of events currently scheduled (cancelled
 // events are excluded even before their slots are collected).
@@ -190,7 +219,9 @@ func (s *Simulator) AtEvent(t time.Duration, kind, actor int32, arg time.Duratio
 	return s.push(t, kind, actor, arg, nil)
 }
 
-// push allocates a slot (reusing the free list) and sifts the event in.
+// push allocates a slot (reusing the free list) and routes the event to a
+// band: an event at or after the latest parked instant appends to the far
+// band in O(1); anything earlier sifts into the near heap.
 func (s *Simulator) push(t time.Duration, kind, actor int32, arg time.Duration, fn Handler) EventID {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
@@ -208,11 +239,21 @@ func (s *Simulator) push(t time.Duration, kind, actor int32, arg time.Duration, 
 	ev := event{at: t, seq: s.seq, slot: id, kind: kind, actor: actor, arg: arg, fn: fn}
 	s.seq++
 	s.live++
-	s.heap = append(s.heap, ev)
-	if len(s.heap) > s.maxDepth {
-		s.maxDepth = len(s.heap)
+	if n := len(s.far); n == s.farHead || !before(&ev, &s.far[n-1]) {
+		// Keeps the far band sorted: seq is monotone, so an event at or
+		// after the tail instant extends the sorted order.
+		if s.farHead == n {
+			s.far = s.far[:0]
+			s.farHead = 0
+		}
+		s.far = append(s.far, ev)
+	} else {
+		s.heap = append(s.heap, ev)
+		s.siftUp(len(s.heap) - 1)
 	}
-	s.siftUp(len(s.heap) - 1)
+	if depth := len(s.heap) + len(s.far) - s.farHead; depth > s.maxDepth {
+		s.maxDepth = depth
+	}
 	return EventID{slot: id, gen: sl.gen}
 }
 
@@ -248,28 +289,68 @@ func (s *Simulator) release(id int32) {
 	s.free = append(s.free, id)
 }
 
-// Step fires the next pending event, advancing the clock to its timestamp.
-// It reports whether an event was executed.
-func (s *Simulator) Step() bool {
-	for len(s.heap) > 0 {
-		ev := s.heap[0]
-		s.popRoot()
+// farMin reports whether the next pending entry is the far head: the far
+// band is non-empty and the near heap is empty or ordered after it. The
+// (at, seq) comparison is what makes the two-band split invisible — the pop
+// sequence is exactly a single heap's.
+func (s *Simulator) farMin() bool {
+	if s.farHead >= len(s.far) {
+		return false
+	}
+	return len(s.heap) == 0 || before(&s.far[s.farHead], &s.heap[0])
+}
+
+// popFar removes the far-band head.
+func (s *Simulator) popFar() event {
+	ev := s.far[s.farHead]
+	s.far[s.farHead] = event{} // drop closure and payload references
+	s.farHead++
+	if s.farHead == len(s.far) {
+		s.far = s.far[:0]
+		s.farHead = 0
+	}
+	return ev
+}
+
+// popNext removes and returns the globally earliest entry across both
+// bands, collecting cancelled entries along the way.
+func (s *Simulator) popNext() (event, bool) {
+	for {
+		var ev event
+		switch {
+		case s.farMin():
+			ev = s.popFar()
+		case len(s.heap) > 0:
+			ev = s.heap[0]
+			s.popRoot()
+		default:
+			return event{}, false
+		}
 		if s.slots[ev.slot].state == slotCancelled {
 			s.release(ev.slot)
 			continue
 		}
-		s.release(ev.slot)
-		s.live--
-		s.now = ev.at
-		s.fired++
-		if ev.fn != nil {
-			ev.fn()
-		} else {
-			s.dispatch(ev.kind, ev.actor, ev.arg)
-		}
-		return true
+		return ev, true
 	}
-	return false
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	ev, ok := s.popNext()
+	if !ok {
+		return false
+	}
+	s.release(ev.slot)
+	s.live--
+	s.now = ev.at
+	s.fired++
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		s.dispatch(ev.kind, ev.actor, ev.arg)
+	}
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -294,18 +375,29 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 }
 
 // peek reports the timestamp of the next non-cancelled event, collecting
-// cancelled heap entries along the way.
+// cancelled entries from both bands along the way.
 func (s *Simulator) peek() (time.Duration, bool) {
-	for len(s.heap) > 0 {
-		ev := &s.heap[0]
+	for {
+		var ev *event
+		far := s.farMin()
+		if far {
+			ev = &s.far[s.farHead]
+		} else if len(s.heap) > 0 {
+			ev = &s.heap[0]
+		} else {
+			return 0, false
+		}
 		if s.slots[ev.slot].state == slotCancelled {
 			s.release(ev.slot)
-			s.popRoot()
+			if far {
+				s.popFar()
+			} else {
+				s.popRoot()
+			}
 			continue
 		}
 		return ev.at, true
 	}
-	return 0, false
 }
 
 // ---- flat 4-ary min-heap, ordered by (at, seq) ----

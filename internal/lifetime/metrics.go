@@ -1,0 +1,41 @@
+package lifetime
+
+import "dense802154/internal/telemetry"
+
+// Package-level lifetime telemetry, folded once per completed Run — the
+// same once-per-run atomic pattern netsim uses, so nothing lands on a
+// per-epoch or per-event path.
+var (
+	runsTotal               telemetry.Counter
+	epochsTotal             telemetry.Counter
+	deathsTotal             telemetry.Counter
+	simulatedSecondsTotal   telemetry.Counter
+	fastForwardSecondsTotal telemetry.Counter
+)
+
+// RegisterMetrics exposes the lifetime integrator's process-wide counters
+// in r:
+//
+//	wsn_lifetime_runs_total                 counter  completed lifetime runs
+//	wsn_lifetime_epochs_total               counter  live-simulated epochs
+//	wsn_lifetime_deaths_total               counter  node deaths recorded
+//	wsn_lifetime_simulated_seconds_total    counter  network seconds covered by live DES epochs
+//	wsn_lifetime_fast_forward_seconds_total counter  network seconds skipped analytically
+//
+// The ratio of the last two is the integrator's leverage: how many
+// simulated years each wall-clock second of DES bought.
+func RegisterMetrics(r *telemetry.Registry) {
+	r.RegisterCounter("wsn_lifetime_runs_total", "Completed network lifetime runs.", &runsTotal)
+	r.RegisterCounter("wsn_lifetime_epochs_total", "Live-simulated lifetime epochs across all runs.", &epochsTotal)
+	r.RegisterCounter("wsn_lifetime_deaths_total", "Node deaths recorded across all lifetime runs.", &deathsTotal)
+	r.RegisterCounter("wsn_lifetime_simulated_seconds_total", "Network seconds covered by live DES epochs.", &simulatedSecondsTotal)
+	r.RegisterCounter("wsn_lifetime_fast_forward_seconds_total", "Network seconds skipped by the steady-state fast-forward.", &fastForwardSecondsTotal)
+}
+
+func foldRunMetrics(res *Result) {
+	runsTotal.Inc()
+	epochsTotal.Add(uint64(res.Epochs))
+	deathsTotal.Add(uint64(res.Deaths))
+	simulatedSecondsTotal.Add(uint64(res.SimulatedS))
+	fastForwardSecondsTotal.Add(uint64(res.FastForwardS))
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"time"
+)
+
+// This file is the simulator's lifetime seam: one epoch of a network whose
+// nodes carry finite energy budgets. The orchestration above it — battery
+// state, harvest and self-discharge accounting, steady-state fast-forward
+// between epochs, replica aggregation — lives in internal/lifetime; netsim
+// only knows how to run a population with some nodes dead and to kill the
+// ones that exhaust their budget mid-epoch.
+
+// EpochSpec configures one lifetime epoch over a base Config.
+type EpochSpec struct {
+	// Epoch indexes the sampled epoch. Epoch 0 reuses the plain run's
+	// traffic streams (RunEpoch at epoch 0 with everyone alive is
+	// bit-identical to Run); later epochs re-root the per-node streams so
+	// each sampled epoch draws fresh traffic randomness. The deployment —
+	// per-node loss, TX level, PER — is a function of cfg.Seed alone and
+	// never varies across epochs, so node i keeps its identity for life.
+	Epoch int
+	// Alive masks the population (len cfg.Nodes; nil = all alive). Dead
+	// nodes exist in the deployment but never wake: they skip every
+	// superframe, leave the contention population, and accrue no energy.
+	// The mask is mutated in place: nodes that die mid-epoch flip false,
+	// so the caller's mask is current when RunEpoch returns.
+	Alive []bool
+	// BudgetJ is each node's remaining radio energy in joules (len
+	// cfg.Nodes; nil = unlimited). A non-busy node whose accrued energy
+	// reaches its budget dies at that beacon.
+	BudgetJ []float64
+}
+
+// NodeDeath records one mid-epoch death at a beacon instant.
+type NodeDeath struct {
+	Node int
+	At   time.Duration
+}
+
+// EpochResult is one epoch's outcome: the usual aggregate Result plus the
+// per-node energy split the lifetime integrator needs.
+type EpochResult struct {
+	// Result aggregates the epoch like a plain run. Averages are over the
+	// configured population including dead nodes (which contribute zero
+	// energy and no traffic).
+	Result Result
+	// EnergyJ is each node's radio energy spent this epoch: zero for nodes
+	// dead at entry, the exact remaining budget for nodes that died
+	// mid-epoch (an exhausted battery spends precisely what it had), the
+	// ledger total for survivors.
+	EnergyJ []float64
+	// Deaths lists mid-epoch deaths in death order.
+	Deaths []NodeDeath
+}
+
+// RunEpoch executes one lifetime epoch on a pooled arena. See EpochSpec
+// for the contract; cfg itself is untouched, so every plain-run invariant
+// (golden bytes, recycle bit-identity) is unaffected by lifetime runs
+// sharing the pool.
+func RunEpoch(cfg Config, spec EpochSpec) EpochResult {
+	r := runnerPool.Get().(*Runner)
+	res := r.RunEpoch(cfg, spec)
+	runnerPool.Put(r)
+	return res
+}
+
+// RunEpoch executes one lifetime epoch on this arena.
+func (r *Runner) RunEpoch(cfg Config, spec EpochSpec) EpochResult {
+	res := r.run(cfg, &spec)
+	e := &r.e
+	out := EpochResult{
+		Result:  res,
+		EnergyJ: make([]float64, len(e.nodes)),
+		Deaths:  append([]NodeDeath(nil), e.deaths...),
+	}
+	for i := range e.nodes {
+		if spec.Alive == nil || spec.Alive[i] {
+			out.EnergyJ[i] = float64(e.nodes[i].dev.Ledger().TotalEnergy())
+		}
+	}
+	for _, d := range e.deaths {
+		if spec.BudgetJ != nil {
+			out.EnergyJ[d.Node] = spec.BudgetJ[d.Node]
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func epochTestConfig() Config {
+	return Config{Nodes: 12, Superframes: 6, Seed: 77}
+}
+
+// RunEpoch at epoch 0 with everyone alive and no budgets is the plain run:
+// same traffic streams, same arena path, bit-identical Result. This is the
+// invariant that lets lifetime runs share every netsim golden.
+func TestRunEpochZeroMatchesRun(t *testing.T) {
+	cfg := epochTestConfig()
+	plain := Run(cfg)
+	er := RunEpoch(cfg, EpochSpec{Epoch: 0})
+	if !reflect.DeepEqual(plain, er.Result) {
+		t.Fatalf("epoch-0 RunEpoch diverged from Run:\nplain: %+v\nepoch: %+v", plain, er.Result)
+	}
+	if len(er.Deaths) != 0 {
+		t.Fatalf("unbudgeted epoch recorded %d deaths", len(er.Deaths))
+	}
+	n := cfg.withDefaults().Nodes
+	if len(er.EnergyJ) != n {
+		t.Fatalf("EnergyJ length %d, want %d", len(er.EnergyJ), n)
+	}
+	var total float64
+	for _, e := range er.EnergyJ {
+		if e <= 0 {
+			t.Fatal("alive node with non-positive epoch energy")
+		}
+		total += e
+	}
+	if agg := float64(plain.Ledger.TotalEnergy()); total < agg*0.999 || total > agg*1.001 {
+		t.Fatalf("per-node energy sums to %v J, aggregate ledger says %v J", total, agg)
+	}
+}
+
+// Later epochs re-root the traffic streams: same deployment, fresh
+// randomness, still deterministic per (seed, epoch).
+func TestRunEpochReroot(t *testing.T) {
+	cfg := epochTestConfig()
+	e0 := RunEpoch(cfg, EpochSpec{Epoch: 0})
+	e1 := RunEpoch(cfg, EpochSpec{Epoch: 1})
+	e1again := RunEpoch(cfg, EpochSpec{Epoch: 1})
+	if !reflect.DeepEqual(e1, e1again) {
+		t.Fatal("epoch 1 is not deterministic")
+	}
+	if reflect.DeepEqual(e0.Result, e1.Result) {
+		t.Fatal("epoch 1 reused epoch 0 traffic streams")
+	}
+}
+
+// Exhausted budgets kill at beacon granularity: the mask flips in place,
+// deaths arrive in time order, and a dead node's epoch energy is exactly
+// the budget it had left.
+func TestRunEpochBudgetKills(t *testing.T) {
+	cfg := epochTestConfig()
+	n := cfg.withDefaults().Nodes
+
+	alive := make([]bool, n)
+	budget := make([]float64, n)
+	for i := range alive {
+		alive[i] = true
+		budget[i] = 1e-5 // microscopic: everyone dies at the second beacon
+	}
+	er := RunEpoch(cfg, EpochSpec{Epoch: 0, Alive: alive, BudgetJ: budget})
+	if len(er.Deaths) != n {
+		t.Fatalf("%d deaths, want the whole population (%d)", len(er.Deaths), n)
+	}
+	var last time.Duration
+	for _, d := range er.Deaths {
+		if d.At < last {
+			t.Fatal("deaths out of time order")
+		}
+		last = d.At
+		if alive[d.Node] {
+			t.Fatalf("node %d died but mask still alive", d.Node)
+		}
+		if er.EnergyJ[d.Node] != budget[d.Node] {
+			t.Fatalf("dead node %d energy %v, want its budget %v", d.Node, er.EnergyJ[d.Node], budget[d.Node])
+		}
+	}
+}
+
+// Nodes dead at entry never wake: zero energy, no traffic, and the
+// survivors' run is deterministic under the shrunken contention population.
+func TestRunEpochDeadAtEntry(t *testing.T) {
+	cfg := epochTestConfig()
+	n := cfg.withDefaults().Nodes
+
+	mask := func() []bool {
+		m := make([]bool, n)
+		for i := range m {
+			m[i] = i%2 == 0
+		}
+		return m
+	}
+	a, b := mask(), mask()
+	r1 := RunEpoch(cfg, EpochSpec{Epoch: 0, Alive: a})
+	r2 := RunEpoch(cfg, EpochSpec{Epoch: 0, Alive: b})
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("masked epoch is not deterministic")
+	}
+	for i := 0; i < n; i++ {
+		if i%2 == 1 && r1.EnergyJ[i] != 0 {
+			t.Fatalf("dead node %d accrued %v J", i, r1.EnergyJ[i])
+		}
+		if i%2 == 0 && r1.EnergyJ[i] <= 0 {
+			t.Fatalf("alive node %d accrued no energy", i)
+		}
+	}
+	full := RunEpoch(cfg, EpochSpec{Epoch: 0})
+	if full.Result.PacketsOffered <= r1.Result.PacketsOffered {
+		t.Fatal("halving the population did not reduce offered traffic")
+	}
+}

@@ -87,6 +87,13 @@ type TraceEvent struct {
 	Phase radio.Phase
 }
 
+// WithDefaults returns the configuration exactly as Run will execute it,
+// every zero field replaced by its default. Exported for layers that need
+// the effective population size and superframe timing before running
+// anything (internal/lifetime sizes its battery state and epoch span off
+// it).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Nodes == 0 {
 		c.Nodes = 100
@@ -468,6 +475,13 @@ type env struct {
 	trace                       []TraceEvent
 	contDur, contCCA            stats.Accumulator
 	contCF, contCol             stats.Proportion
+
+	// Lifetime-epoch state (nil on plain runs — see RunEpoch). alive and
+	// budgetJ alias the caller's EpochSpec slices; deaths is arena storage
+	// copied out per epoch.
+	alive   []bool
+	budgetJ []float64
+	deaths  []NodeDeath
 }
 
 // reset rewinds the arena for a fresh run under cfg, reusing every piece of
@@ -504,6 +518,8 @@ func (e *env) reset(cfg Config) {
 	e.trace = e.trace[:0]
 	e.contDur, e.contCCA = stats.Accumulator{}, stats.Accumulator{}
 	e.contCF, e.contCol = stats.Proportion{}, stats.Proportion{}
+	e.alive, e.budgetJ = nil, nil
+	e.deaths = e.deaths[:0]
 }
 
 // advance accrues dwell time in the node's current radio state up to t.

@@ -96,9 +96,22 @@ func Run(cfg Config) Result {
 
 // Run executes one simulation on the recycled arena.
 func (r *Runner) Run(cfg Config) Result {
+	return r.run(cfg, nil)
+}
+
+// run is the shared body of Run and RunEpoch. A nil spec is a plain run; a
+// non-nil spec installs the epoch's alive mask and per-node energy budgets
+// and (for Epoch > 0) re-roots the traffic streams so successive epochs
+// draw fresh randomness while the deployment — and so node identity —
+// stays fixed by cfg.Seed.
+func (r *Runner) run(cfg Config, spec *EpochSpec) Result {
 	cfg = cfg.withDefaults()
 	e := &r.e
 	e.reset(cfg)
+	if spec != nil {
+		e.alive = spec.Alive
+		e.budgetJ = spec.BudgetJ
+	}
 	tr, _ := cfg.Radio.Transition(radio.Idle, radio.RX)
 	e.tia = tr.Duration
 	tr, _ = cfg.Radio.Transition(radio.Idle, radio.TX)
@@ -119,6 +132,13 @@ func (r *Runner) Run(cfg Config) Result {
 	// cross-validation study off one seed.
 	r.setupRNG.Seed(cfg.Seed + 1)
 	nodeRoot := engine.DeriveSeed(cfg.Seed, -1)
+	if spec != nil && spec.Epoch > 0 {
+		// Later epochs re-root the per-node traffic streams under a second
+		// domain (-2) so no epoch root can collide with a node stream of the
+		// -1 domain; epoch 0 keeps the plain root, so RunEpoch at epoch 0
+		// with everyone alive is bit-identical to Run.
+		nodeRoot = engine.DeriveSeed(engine.DeriveSeed(cfg.Seed, -2), int64(spec.Epoch))
+	}
 	for i := range e.nodes {
 		loss := cfg.Deployment.Sample(r.setupRNG)
 		level, _ := cfg.Radio.LevelIndexFor(cfg.TargetPRxDBm + loss)
@@ -146,8 +166,13 @@ func (r *Runner) Run(cfg Config) Result {
 	horizon := time.Duration(cfg.Superframes) * tib
 	e.sim.RunUntil(horizon)
 
-	// Close the books: every node sleeps out the horizon.
+	// Close the books: every living node sleeps out the horizon. Dead
+	// nodes are frozen where they died — an exhausted battery pays no
+	// further leakage.
 	for i := range e.nodes {
+		if e.alive != nil && !e.alive[i] {
+			continue
+		}
 		e.nodes[i].advance(horizon)
 	}
 	foldRunMetrics(e)
@@ -155,11 +180,33 @@ func (r *Runner) Run(cfg Config) Result {
 }
 
 // beacon is the coordinator's superframe start: it occupies the medium and
-// triggers every node's per-superframe procedure.
+// triggers every node's per-superframe procedure. Under a lifetime epoch it
+// is also the death check: a non-busy node whose accrued radio energy —
+// ledger plus the shutdown dwell pending since its watermark — has reached
+// its budget shuts down for good, leaving the contention population before
+// this superframe's draws. Busy nodes finish their straddling exchange
+// first and are checked at the next beacon.
 func (e *env) beacon(at time.Duration) {
 	e.med.prune(at)
 	e.med.add(transmission{start: at, end: at + e.tbeacon})
 	for i := range e.nodes {
+		if e.alive != nil {
+			if !e.alive[i] {
+				continue
+			}
+			n := &e.nodes[i]
+			if e.budgetJ != nil && !n.busy {
+				spent := float64(n.dev.Ledger().TotalEnergy())
+				if pend := at - n.last; pend > 0 {
+					spent += float64(e.cfg.Radio.StatePower(radio.Shutdown, n.level)) * pend.Seconds()
+				}
+				if spent >= e.budgetJ[i] {
+					e.alive[i] = false
+					e.deaths = append(e.deaths, NodeDeath{Node: i, At: at})
+					continue
+				}
+			}
+		}
 		e.nodes[i].startSuperframe(at)
 	}
 }

@@ -34,6 +34,7 @@ type TaskResult struct {
 	Thresholds []ThresholdWire       `json:"thresholds,omitempty"`
 	Payload    *PayloadSeriesWire    `json:"payload,omitempty"`
 	Sim        *SimResultWire        `json:"sim,omitempty"`
+	Lifetime   *LifetimeResultWire   `json:"lifetime,omitempty"`
 	Scenario   *ScenarioReportWire   `json:"scenario,omitempty"`
 	Experiment *ExperimentReportWire `json:"experiment,omitempty"`
 
@@ -45,8 +46,8 @@ type TaskResult struct {
 // Value returns the in-process result behind the wire payload: core.Metrics
 // (evaluate, batch), core.CaseStudyResult, []core.EnergyCurve,
 // []core.Threshold, stats.Series, netsim.Result (simulate, replicas),
-// *scenario.Result or []*stats.Table, per the query kind. It is nil on a
-// TaskResult decoded from the wire.
+// lifetime.Result (lifetime), *scenario.Result or []*stats.Table, per the
+// query kind. It is nil on a TaskResult decoded from the wire.
 func (t *TaskResult) Value() any { return t.value }
 
 // ReplicaSummaryWire is the across-replica statistics block of a replicas
@@ -112,16 +113,19 @@ type ResultSet struct {
 	Kind    Kind                `json:"kind"`
 	Results []TaskResult        `json:"results"`
 	Summary *ReplicaSummaryWire `json:"summary,omitempty"`
-	Trace   *PlanTraceWire      `json:"trace,omitempty"`
+	// LifetimeSummary is the across-replica statistics block of a lifetime
+	// query (the lifetime analogue of Summary).
+	LifetimeSummary *LifetimeSummaryWire `json:"lifetime_summary,omitempty"`
+	Trace           *PlanTraceWire       `json:"trace,omitempty"`
 
 	// value is the merged in-process result where one exists (a
-	// netsim.ReplicaSet for kind replicas); see TaskResult.Value for the
-	// per-task payloads.
+	// netsim.ReplicaSet for kind replicas, a lifetime.ReplicaSet for kind
+	// lifetime); see TaskResult.Value for the per-task payloads.
 	value any
 }
 
 // Value returns the merged in-process result (netsim.ReplicaSet for kind
-// replicas, nil otherwise).
+// replicas, lifetime.ReplicaSet for kind lifetime, nil otherwise).
 func (rs *ResultSet) Value() any { return rs.value }
 
 // Encode renders the byte-stable JSON form: compact, HTML escaping off,
@@ -220,6 +224,8 @@ func Compile(q Query) (*Plan, error) {
 		build = q.buildSimulate
 	case KindReplicas:
 		build = q.buildReplicas
+	case KindLifetime:
+		build = q.buildLifetime
 	case KindScenario:
 		build = q.buildScenario
 	case KindExperiment:
@@ -483,7 +489,7 @@ func (p *Plan) Assemble(results []TaskResult) (*ResultSet, error) {
 // they were compiled.
 func (p *Plan) Shardable() bool {
 	switch p.Kind {
-	case KindBatch, KindReplicas, KindGrid:
+	case KindBatch, KindReplicas, KindLifetime, KindGrid:
 		return p.numTasks > 1
 	}
 	return false

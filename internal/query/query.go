@@ -12,6 +12,7 @@
 //	payload-sweep   the Fig. 8 energy-vs-payload series
 //	simulate        one cycle-accurate discrete-event network simulation
 //	replicas        n independent simulations with across-replica 95% CIs
+//	lifetime        n battery-lifetime runs (node death, partition time, CIs)
 //	scenario        one cross-model catalog scenario (optionally golden-diffed)
 //	experiment      one registered paper-artifact driver
 //	grid            the joint product sweep (losses × payloads × BO × node counts)
@@ -58,6 +59,7 @@ const (
 	KindThresholds    Kind = "thresholds"
 	KindSimulate      Kind = "simulate"
 	KindReplicas      Kind = "replicas"
+	KindLifetime      Kind = "lifetime"
 	KindScenario      Kind = "scenario"
 	KindExperiment    Kind = "experiment"
 	KindGrid          Kind = "grid"
@@ -68,7 +70,7 @@ func Kinds() []Kind {
 	return []Kind{
 		KindEvaluate, KindBatch, KindCaseStudy, KindPathLossSweep,
 		KindPayloadSweep, KindThresholds, KindSimulate, KindReplicas,
-		KindScenario, KindExperiment, KindGrid,
+		KindLifetime, KindScenario, KindExperiment, KindGrid,
 	}
 }
 
@@ -248,8 +250,12 @@ type Query struct {
 	// Config tunes the §5 population integration (kind casestudy).
 	Config *CaseStudyConfigWire `json:"config,omitempty"`
 	// Sim configures the discrete-event simulator (kinds simulate,
-	// replicas).
+	// replicas, lifetime).
 	Sim *SimConfigWire `json:"sim,omitempty"`
+
+	// Lifetime parameterizes the battery/death layer over Sim (kind
+	// lifetime); omitted fields default to a CR2032 cell per node.
+	Lifetime *LifetimeWire `json:"lifetime,omitempty"`
 
 	// Losses is the path-loss grid axis in dB (kinds pathloss-sweep,
 	// thresholds, grid; default: the case-study population grid, or the
@@ -267,8 +273,8 @@ type Query struct {
 	// same rule the §5 case study applies — after the point's payload and
 	// BO are in place. Omitted, the base Load is kept unchanged.
 	Nodes *IntAxis `json:"nodes,omitempty"`
-	// Replicas is the replication count (kind replicas; default 1), one
-	// task per replica.
+	// Replicas is the replication count (kinds replicas, lifetime;
+	// default 1), one task per replica.
 	Replicas int `json:"replicas,omitempty"`
 
 	// Scenario names a catalog scenario (kind scenario); Diff additionally
@@ -319,6 +325,7 @@ var queryFields = []queryField{
 	{"batch", func(q *Query) bool { return q.Batch != nil }},
 	{"config", func(q *Query) bool { return q.Config != nil }},
 	{"sim", func(q *Query) bool { return q.Sim != nil }},
+	{"lifetime", func(q *Query) bool { return q.Lifetime != nil }},
 	{"losses", func(q *Query) bool { return q.Losses != nil }},
 	{"payloads", func(q *Query) bool { return q.Payloads != nil }},
 	{"bos", func(q *Query) bool { return q.BOs != nil }},
@@ -342,6 +349,7 @@ var allowedFields = map[Kind][]string{
 	KindPayloadSweep:  {"params", "payloads"},
 	KindSimulate:      {"sim"},
 	KindReplicas:      {"sim", "replicas"},
+	KindLifetime:      {"sim", "lifetime", "replicas"},
 	KindScenario:      {"scenario", "diff"},
 	KindExperiment:    {"experiment", "quick", "seed"},
 	KindGrid:          {"params", "losses", "payloads", "bos", "nodes"},

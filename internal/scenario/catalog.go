@@ -1,14 +1,16 @@
 package scenario
 
-// Catalog returns the committed scenario catalog: fifteen operating points
+// Catalog returns the committed scenario catalog: seventeen operating points
 // spanning the axes the paper's point results (Figs. 6-8, the 1600-node
 // case study) only sample — density (5→200 nodes on one channel), traffic
 // (λ ≈ 0.001 → 0.87, per-superframe transmit probabilities 0.1 → 1),
 // beacon order (BO 3 → 9, beacon intervals of 123 ms → 7.9 s), payload
 // (20 → 123 B), path-loss populations reaching the >88 dB efficiency cliff,
-// and the §5 scalable-receiver improvement. Every entry is returned fully
-// defaulted and carries its own agreement tolerances; each has a committed
-// golden file under testdata/.
+// the §5 scalable-receiver improvement, and network-lifetime integrations
+// (battery-backed and energy-harvesting populations through
+// internal/lifetime). Every entry is returned fully defaulted and carries
+// its own agreement tolerances; each has a committed golden file under
+// testdata/.
 //
 // To add a scenario: append it here (pick a fresh name and seed, keep
 // λ ≤ 1), run `go test ./internal/scenario -run TestGolden -update` to
@@ -138,6 +140,24 @@ func Catalog() []Scenario {
 			MinLossDB: 55, MaxLossDB: 95,
 			Radio: "cc2420-scalable", LowPowerListen: true,
 			Seed: 114,
+		},
+		{
+			Name:        "lifetime-coin-cell",
+			Description: "A small coin-cell population run to exhaustion: the lifetime integrator's epochs and idle fast-forward carry twelve CR2032-backed nodes through months of network time, pinning first-death, partition and last-death statistics.",
+			Nodes:       12, PayloadBytes: 60, BO: 6, SO: 6, TransmitProb: 1,
+			MinLossDB: 55, MaxLossDB: 90,
+			Superframes: 24, Replicas: 4,
+			Seed:     115,
+			Lifetime: &LifetimeSpec{Supply: "cr2032", Replicas: 3},
+		},
+		{
+			Name:        "lifetime-energy-harvesting",
+			Description: "The paper's 100 µW scavenging budget on a light-duty population: harvest covers drain, so every death milestone is +Inf and the lifetime block pins the sustainable contract end to end.",
+			Nodes:       20, PayloadBytes: 40, BO: 6, SO: 6, TransmitProb: 0.5,
+			MinLossDB: 55, MaxLossDB: 85,
+			Superframes: 24, Replicas: 4,
+			Seed:     116,
+			Lifetime: &LifetimeSpec{Supply: "harvester", Replicas: 3},
 		},
 	}
 	for i := range list {

@@ -9,6 +9,7 @@ import (
 	"dense802154/internal/channel"
 	"dense802154/internal/contention"
 	"dense802154/internal/core"
+	"dense802154/internal/lifetime"
 	"dense802154/internal/netsim"
 	"dense802154/internal/phy"
 	"dense802154/internal/radio"
@@ -74,6 +75,31 @@ type Comparison struct {
 	Pass     bool       `json:"pass"`
 }
 
+// LifetimeResult summarizes the battery-lifetime leg of a scenario: the
+// across-replica statistics of the three death milestones (in hours; "+Inf"
+// on the wire when a network outlives its horizon or sustains itself) plus
+// the integrator's own accounting — how much network time the DES actually
+// simulated versus skipped through the idle fast-forward.
+type LifetimeResult struct {
+	Replicas int     `json:"replicas"`
+	Seeds    []int64 `json:"seeds"`
+
+	FirstDeathHours SimStat `json:"first_death_hours"`
+	PartitionHours  SimStat `json:"partition_hours"`
+	LastDeathHours  SimStat `json:"last_death_hours"`
+	AliveFracAtEnd  SimStat `json:"alive_frac_at_end"`
+
+	// Sustainable is true when every replica's harvest covers its drain.
+	Sustainable bool `json:"sustainable"`
+	// Epochs is the total live-simulated epochs across all replicas.
+	Epochs int `json:"epochs"`
+	// SimulatedHours and FastForwardHours split the covered network time
+	// into DES-integrated and steady-state-skipped spans (summed over
+	// replicas): their ratio is the integrator's leverage.
+	SimulatedHours   wire.Float `json:"simulated_hours"`
+	FastForwardHours wire.Float `json:"fast_forward_hours"`
+}
+
 // Result is one scenario's full cross-model outcome — the unit the golden
 // files pin byte for byte.
 type Result struct {
@@ -81,6 +107,8 @@ type Result struct {
 	Analytic    AnalyticResult `json:"analytic"`
 	Sim         SimResult      `json:"sim"`
 	Comparisons []Comparison   `json:"comparisons"`
+	// Lifetime is present only on scenarios declaring a lifetime leg.
+	Lifetime *LifetimeResult `json:"lifetime,omitempty"`
 	// Pass is true when every comparison is within tolerance.
 	Pass bool `json:"pass"`
 }
@@ -264,5 +292,43 @@ func Run(ctx context.Context, sc Scenario, workers int) (*Result, error) {
 	compare("pr_cf", float64(analytic.PrCF), sim.PrCF, sc.Tol.PrCF)
 	compare("ncca", float64(analytic.NCCA), sim.NCCA, sc.Tol.NCCA)
 	compare("tcont_ms", float64(analytic.TcontMS), sim.TcontMS, sc.Tol.TcontMS)
+
+	// ---- Lifetime leg (opt-in) ----
+	// Same netsim base as the replicated runs above; the integrator owns the
+	// epoch length, batteries and death bookkeeping. Replica seeds derive
+	// from the scenario seed alone, so the block is worker-count independent
+	// like everything else in the golden.
+	if sc.Lifetime != nil {
+		supply, err := sc.Lifetime.supply()
+		if err != nil {
+			return nil, err
+		}
+		lset, err := lifetime.RunReplicas(ctx, lifetime.Config{
+			Sim:              cfg,
+			Supply:           supply,
+			PartitionFrac:    sc.Lifetime.PartitionFrac,
+			EpochSuperframes: sc.Lifetime.EpochSuperframes,
+			MaxEpochs:        sc.Lifetime.MaxEpochs,
+		}, sc.Lifetime.Replicas, workers)
+		if err != nil {
+			return nil, err
+		}
+		lr := &LifetimeResult{
+			Replicas:        lset.Replicas,
+			Seeds:           lset.Seeds,
+			FirstDeathHours: simStat(lset.FirstDeathHours),
+			PartitionHours:  simStat(lset.PartitionHours),
+			LastDeathHours:  simStat(lset.LastDeathHours),
+			AliveFracAtEnd:  simStat(lset.AliveFracAtEnd),
+			Sustainable:     true,
+		}
+		for _, r := range lset.Results {
+			lr.Sustainable = lr.Sustainable && r.Sustainable
+			lr.Epochs += r.Epochs
+			lr.SimulatedHours += wire.Float(r.SimulatedS / 3600)
+			lr.FastForwardHours += wire.Float(r.FastForwardS / 3600)
+		}
+		res.Lifetime = lr
+	}
 	return res, nil
 }

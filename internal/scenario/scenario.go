@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"dense802154/internal/battery"
 	"dense802154/internal/frame"
 	"dense802154/internal/mac"
 	"dense802154/internal/radio"
@@ -113,7 +114,72 @@ type Scenario struct {
 	LossGridPoints int   `json:"loss_grid_points"` // analytic population integration grid
 	Seed           int64 `json:"seed"`
 
+	// Lifetime, when set, additionally pushes the operating point through
+	// the network-lifetime integrator (internal/lifetime): every node gets
+	// the named battery, the DES runs in epochs with idle fast-forward, and
+	// the golden pins first-death/partition/last-death statistics. Nil (the
+	// catalog's historical entries) keeps the result bytes unchanged.
+	Lifetime *LifetimeSpec `json:"lifetime,omitempty"`
+
 	Tol Tolerances `json:"tolerances"`
+}
+
+// LifetimeSpec declares the battery-lifetime leg of a scenario. Zero fields
+// are filled by WithDefaults, mirroring the lifetime query's wire defaults.
+type LifetimeSpec struct {
+	// Supply names the battery preset: "cr2032", "aa" or "harvester".
+	Supply string `json:"supply"`
+	// CapacityJ, when positive, overrides the preset's usable capacity.
+	CapacityJ float64 `json:"capacity_j,omitempty"`
+	// PartitionFrac is the alive fraction below which the network counts as
+	// partitioned.
+	PartitionFrac float64 `json:"partition_frac"`
+	// EpochSuperframes is the DES epoch length in beacon intervals.
+	EpochSuperframes int `json:"epoch_superframes"`
+	// MaxEpochs bounds the live-simulated epochs per replica.
+	MaxEpochs int `json:"max_epochs"`
+	// Replicas is the lifetime replication plan (independent of the
+	// scenario's cross-model Replicas).
+	Replicas int `json:"replicas"`
+}
+
+// WithDefaults fills the zero run-plan fields of a lifetime leg.
+func (l LifetimeSpec) WithDefaults() LifetimeSpec {
+	if l.Supply == "" {
+		l.Supply = "cr2032"
+	}
+	if l.PartitionFrac == 0 {
+		l.PartitionFrac = 0.5
+	}
+	if l.EpochSuperframes == 0 {
+		l.EpochSuperframes = 16
+	}
+	if l.MaxEpochs == 0 {
+		l.MaxEpochs = 512
+	}
+	if l.Replicas == 0 {
+		l.Replicas = 3
+	}
+	return l
+}
+
+// supply resolves the named preset with its capacity override applied.
+func (l LifetimeSpec) supply() (battery.Supply, error) {
+	var s battery.Supply
+	switch l.Supply {
+	case "cr2032":
+		s = battery.CoinCellCR2032()
+	case "aa":
+		s = battery.AACell()
+	case "harvester":
+		s = battery.VibrationHarvester()
+	default:
+		return s, fmt.Errorf("unknown supply %q (want cr2032, aa or harvester)", l.Supply)
+	}
+	if l.CapacityJ > 0 {
+		s.CapacityJ = l.CapacityJ
+	}
+	return s, nil
 }
 
 // WithDefaults fills the zero run-plan fields. Catalog entries are stored
@@ -142,6 +208,14 @@ func (s Scenario) WithDefaults() Scenario {
 	}
 	if s.LossGridPoints == 0 {
 		s.LossGridPoints = 41
+	}
+	// Replace the lifetime pointer only when defaulting changes it, so a
+	// fully-defaulted scenario compares equal to its WithDefaults (the
+	// catalog-hygiene test relies on that).
+	if s.Lifetime != nil {
+		if l := s.Lifetime.WithDefaults(); l != *s.Lifetime {
+			s.Lifetime = &l
+		}
 	}
 	if s.Tol == (Tolerances{}) {
 		s.Tol = DefaultTolerances()
@@ -203,6 +277,21 @@ func (s Scenario) Validate() error {
 	}
 	if s.LossGridPoints < 2 {
 		return fmt.Errorf("scenario %s: loss grid needs ≥ 2 points", s.Name)
+	}
+	if l := s.Lifetime; l != nil {
+		if _, err := l.supply(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if math.IsNaN(l.CapacityJ) || math.IsInf(l.CapacityJ, 0) || l.CapacityJ < 0 {
+			return fmt.Errorf("scenario %s: lifetime capacity %g not finite and non-negative", s.Name, l.CapacityJ)
+		}
+		if !(l.PartitionFrac > 0 && l.PartitionFrac <= 1) {
+			return fmt.Errorf("scenario %s: partition fraction %g outside (0,1]", s.Name, l.PartitionFrac)
+		}
+		if l.EpochSuperframes < 1 || l.MaxEpochs < 1 || l.Replicas < 1 {
+			return fmt.Errorf("scenario %s: lifetime run plan must be ≥ 1 (epoch superframes %d, max epochs %d, replicas %d)",
+				s.Name, l.EpochSuperframes, l.MaxEpochs, l.Replicas)
+		}
 	}
 	load, err := s.Load()
 	if err != nil {

@@ -176,6 +176,13 @@ func FuzzQueryDecode(f *testing.F) {
 		`{"kind":"simulate","sim":{"min_loss_db":"NaN"}}`,
 		`{"kind":"replicas","sim":{"nodes":10},"replicas":4096}`,
 		`{"kind":"replicas","replicas":4097}`,
+		`{"kind":"lifetime","sim":{"nodes":8,"superframes":2},"lifetime":{"capacity_j":0.3,"epoch_superframes":4},"replicas":2}`,
+		`{"kind":"lifetime","lifetime":{"capacity_j":"NaN"}}`,
+		`{"kind":"lifetime","lifetime":{"threshold_j":-0.5}}`,
+		`{"kind":"lifetime","lifetime":{"supply":"harvester","harvest_uw":100,"partition_frac":0.25}}`,
+		`{"kind":"lifetime","lifetime":{"supply":"fusion"}}`,
+		`{"kind":"simulate","lifetime":{"capacity_j":1}}`,
+		`{"kind":"lifetime","params":{"payload_bytes":60}}`,
 		`{"kind":"scenario","scenario":"baseline-case-study","diff":true}`,
 		`{"kind":"scenario","scenario":"nope"}`,
 		`{"kind":"experiment","experiment":"fig8","quick":true,"seed":7}`,

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dense802154/internal/query"
+)
+
+const lifetimeQueryBody = `{"kind":"lifetime","sim":{"nodes":6,"superframes":2,"seed":9},` +
+	`"lifetime":{"capacity_j":0.3,"epoch_superframes":4,"max_epochs":64},"replicas":3}`
+
+// TestLifetimeQueryHTTPMatchesInProcess pins the transport contract for the
+// lifetime kind: the /v2/query body is byte-identical to an in-process Run's
+// Encode, and it carries the lifetime summary block.
+func TestLifetimeQueryHTTPMatchesInProcess(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 2}))
+	defer ts.Close()
+
+	status, httpBytes := postJSON(t, ts.URL+"/v2/query", lifetimeQueryBody)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, httpBytes)
+	}
+	if !bytes.Contains(httpBytes, []byte(`"lifetime_summary"`)) {
+		t.Fatalf("response carries no lifetime summary: %s", httpBytes)
+	}
+
+	var q query.Query
+	if err := json.Unmarshal([]byte(lifetimeQueryBody), &q); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := query.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := rs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(httpBytes, inproc) {
+		t.Fatalf("HTTP body deviates from in-process Encode:\n http: %s\n proc: %s", httpBytes, inproc)
+	}
+}
+
+// TestLifetimeQueryStream checks the NDJSON form: one line per replica equal
+// to the non-streaming results[i] bytes, and the done line carrying the same
+// lifetime summary subtree.
+func TestLifetimeQueryStream(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 2}))
+	defer ts.Close()
+
+	status, plain := postJSON(t, ts.URL+"/v2/query", lifetimeQueryBody)
+	if status != http.StatusOK {
+		t.Fatalf("plain status = %d: %s", status, plain)
+	}
+	var rsWire struct {
+		Results         []json.RawMessage `json:"results"`
+		LifetimeSummary json.RawMessage   `json:"lifetime_summary"`
+	}
+	if err := json.Unmarshal(plain, &rsWire); err != nil {
+		t.Fatal(err)
+	}
+	if len(rsWire.LifetimeSummary) == 0 {
+		t.Fatal("non-streaming body carries no lifetime_summary")
+	}
+
+	resp, err := http.Post(ts.URL+"/v2/query/stream", "application/json", strings.NewReader(lifetimeQueryBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<22), 1<<22)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(rsWire.Results)+1 {
+		t.Fatalf("stream has %d lines for %d results", len(lines), len(rsWire.Results))
+	}
+	for i, raw := range rsWire.Results {
+		if !bytes.Equal(lines[i], []byte(raw)) {
+			t.Fatalf("stream line %d deviates from results[%d]:\n line: %s\n body: %s", i, i, lines[i], raw)
+		}
+	}
+	var done struct {
+		Done            bool            `json:"done"`
+		Count           int             `json:"count"`
+		LifetimeSummary json.RawMessage `json:"lifetime_summary"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &done); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done || done.Count != len(rsWire.Results) {
+		t.Fatalf("done line = %s", lines[len(lines)-1])
+	}
+	if !bytes.Equal(done.LifetimeSummary, rsWire.LifetimeSummary) {
+		t.Fatalf("lifetime summary deviates:\n stream: %s\n body:   %s", done.LifetimeSummary, rsWire.LifetimeSummary)
+	}
+}
+
+// TestLifetimeQueryValidation400s checks hostile lifetime specs answer as
+// structured field-scoped 400s over HTTP.
+func TestLifetimeQueryValidation400s(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Workers: 1}))
+	defer ts.Close()
+
+	cases := []struct {
+		body  string
+		field string
+	}{
+		{`{"kind":"lifetime","lifetime":{"capacity_j":"NaN"}}`, "lifetime.capacity_j"},
+		{`{"kind":"lifetime","lifetime":{"threshold_j":-0.5}}`, "lifetime.threshold_j"},
+		{`{"kind":"lifetime","lifetime":{"supply":"fusion"}}`, "lifetime.supply"},
+		{`{"kind":"simulate","lifetime":{"capacity_j":1}}`, "lifetime"},
+	}
+	for _, tc := range cases {
+		status, body := postJSON(t, ts.URL+"/v2/query", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.body, status)
+			continue
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Errorf("%s: unstructured error %s", tc.body, body)
+			continue
+		}
+		if !strings.HasPrefix(eb.Error.Field, tc.field) {
+			t.Errorf("%s: error field %q, want prefix %q", tc.body, eb.Error.Field, tc.field)
+		}
+	}
+}

@@ -135,15 +135,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryStreamLine is the final NDJSON record of a /v2/query/stream
-// response: done=true, the task count, the replicas summary when the plan
-// has one, and the execution trace when the query opted in. The preceding
+// response: done=true, the task count, the replicas (or lifetime) summary
+// when the plan has one, and the execution trace when the query opted in. The preceding
 // lines are raw query.TaskResult encodings — exactly the elements of the
 // non-streaming ResultSet.Results, byte for byte.
 type queryStreamLine struct {
-	Done    bool                      `json:"done"`
-	Count   int                       `json:"count"`
-	Summary *query.ReplicaSummaryWire `json:"summary,omitempty"`
-	Trace   *query.PlanTraceWire      `json:"trace,omitempty"`
+	Done            bool                       `json:"done"`
+	Count           int                        `json:"count"`
+	Summary         *query.ReplicaSummaryWire  `json:"summary,omitempty"`
+	LifetimeSummary *query.LifetimeSummaryWire `json:"lifetime_summary,omitempty"`
+	Trace           *query.PlanTraceWire       `json:"trace,omitempty"`
 }
 
 // writeStreamFromResult replays a stored ResultSet body as the NDJSON stream
@@ -170,7 +171,7 @@ func (s *Server) writeStreamFromResult(w http.ResponseWriter, body []byte) bool 
 			flusher.Flush()
 		}
 	}
-	_ = enc.Encode(queryStreamLine{Done: true, Count: len(rs.Results), Summary: rs.Summary})
+	_ = enc.Encode(queryStreamLine{Done: true, Count: len(rs.Results), Summary: rs.Summary, LifetimeSummary: rs.LifetimeSummary})
 	return true
 }
 
@@ -237,7 +238,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			s.cfg.Store.PutResult(key, body)
 		}
 	}
-	_ = enc.Encode(queryStreamLine{Done: true, Count: count, Summary: rs.Summary, Trace: rs.Trace})
+	_ = enc.Encode(queryStreamLine{Done: true, Count: count, Summary: rs.Summary, LifetimeSummary: rs.LifetimeSummary, Trace: rs.Trace})
 }
 
 // queryStreamErrorLine is the terminal NDJSON record of a failed stream:

@@ -27,6 +27,7 @@
 //	POST /v2/query                   one declarative Query → tagged ResultSet
 //	POST /v2/query/stream            same Query, NDJSON TaskResults in plan order
 //	POST /v2/tasks                   one task-index range of a compiled plan (NDJSON)
+//	GET  /v2/store/stats             result-store counters and tier occupancy
 //
 // The v2 routes speak the unified query type of internal/query: one
 // versioned request covers everything the per-endpoint v1 routes do (see
@@ -71,13 +72,15 @@
 //
 // plus the engine worker-pool metrics (wsn_engine_*), the contention cache
 // (wsn_contention_cache_*), the simulator run counters (wsn_netsim_*), the
-// distributed-execution families (wsn_dist_*: queries, shard
-// dispatches, retries, re-dispatches, straggler speculation, remote/local
-// task counts, fleet membership) and the content-addressed result store
-// (wsn_store_*: hits, misses, puts, evictions, disk hits/errors, resident
-// bytes and entries); see the RegisterMetrics doc of each
-// package. Those families read
-// process-wide sources, so two servers in one process scrape one truth.
+// network-lifetime counters (wsn_lifetime_*: runs, epochs, node deaths,
+// simulated vs fast-forwarded seconds), the distributed-execution families
+// (wsn_dist_*: queries, shard dispatches, retries, re-dispatches, straggler
+// speculation, remote/local task counts, fleet membership) and the
+// content-addressed result store (wsn_store_*: hits, misses, puts,
+// evictions, disk hits/errors, resident bytes and entries); see the
+// RegisterMetrics doc of each package. Those families read process-wide
+// sources, so two servers in one process scrape one truth. The store
+// counters are also served as JSON at GET /v2/store/stats.
 //
 // Request logging is structured (log/slog): one record per request with a
 // monotone request id (also echoed in the X-Request-Id response header),
@@ -119,6 +122,7 @@ import (
 	"dense802154/internal/contention"
 	"dense802154/internal/dist"
 	"dense802154/internal/engine"
+	"dense802154/internal/lifetime"
 	"dense802154/internal/netsim"
 	"dense802154/internal/query"
 	"dense802154/internal/store"
@@ -304,6 +308,7 @@ func NewServer(cfg Config) *Server {
 	s.handle("POST /v2/query", s.handleQuery)
 	s.handle("POST /v2/query/stream", s.handleQueryStream)
 	s.handle("POST /v2/tasks", s.handleTasks)
+	s.handle("GET /v2/store/stats", s.handleStoreStats)
 	s.ready.Store(true) // construction complete: worker pool and routes live
 	return s
 }
@@ -344,6 +349,7 @@ func (s *Server) registerMetrics() {
 	engine.RegisterMetrics(r)
 	contention.RegisterMetrics(r)
 	netsim.RegisterMetrics(r)
+	lifetime.RegisterMetrics(r)
 	dist.RegisterMetrics(r)
 	store.RegisterMetrics(r)
 }

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"net/http"
+
+	"dense802154/internal/store"
+)
+
+// ---- GET /v2/store/stats ----
+//
+// A JSON snapshot of the content-addressed result store: the process-wide
+// wsn_store_* counters (every Store in the process folds into the same
+// totals — telemetry's shared-source idiom) plus this server's configured
+// store and its in-memory tier occupancy. The counter fields mirror the
+// Prometheus families one for one, so a dashboard and a curl read the same
+// truth; the endpoint exists for clients that want the numbers without
+// parsing the text exposition format.
+
+// storeStatsResponse is the /v2/store/stats body.
+type storeStatsResponse struct {
+	// Configured reports whether this server was built with a result store;
+	// when false the memory block is absent and the process-wide counters
+	// reflect other stores in the process (or zeros).
+	Configured bool `json:"configured"`
+
+	Hits       uint64 `json:"hits_total"`
+	Misses     uint64 `json:"misses_total"`
+	Puts       uint64 `json:"puts_total"`
+	Evictions  uint64 `json:"evictions_total"`
+	DiskHits   uint64 `json:"disk_hits_total"`
+	DiskErrors uint64 `json:"disk_errors_total"`
+
+	Memory *storeMemoryWire `json:"memory,omitempty"`
+}
+
+// storeMemoryWire is the in-memory tier occupancy of this server's store.
+type storeMemoryWire struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	resp := storeStatsResponse{
+		Hits:       store.HitsTotal.Value(),
+		Misses:     store.MissesTotal.Value(),
+		Puts:       store.PutsTotal.Value(),
+		Evictions:  store.EvictionsTotal.Value(),
+		DiskHits:   store.DiskHitsTotal.Value(),
+		DiskErrors: store.DiskErrorsTotal.Value(),
+	}
+	if s.cfg.Store != nil {
+		resp.Configured = true
+		st := s.cfg.Store.Stats()
+		resp.Memory = &storeMemoryWire{Entries: st.Entries, Bytes: st.Bytes}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

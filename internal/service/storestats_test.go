@@ -1,0 +1,87 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// getStoreStats fetches and decodes GET /v2/store/stats.
+func getStoreStats(t *testing.T, url string) storeStatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v2/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("store stats status %d", resp.StatusCode)
+	}
+	var st storeStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStoreStatsEndpoint pins GET /v2/store/stats against the wsn_store_*
+// scrape: the JSON counters equal the Prometheus samples read back to back
+// (both views of the same process-wide sources), and the memory block
+// matches the store's own occupancy.
+func TestStoreStatsEndpoint(t *testing.T) {
+	ts, st := newStoreServer(t, Config{Workers: 2})
+
+	// A cold query populates the store; an identical warm one hits it.
+	for i := 0; i < 2; i++ {
+		if status, body := postJSON(t, ts.URL+"/v2/query", storeGridBody); status != http.StatusOK {
+			t.Fatalf("query %d: %d: %s", i, status, body)
+		}
+	}
+
+	got := getStoreStats(t, ts.URL)
+	if !got.Configured {
+		t.Fatal("store-backed server reports configured=false")
+	}
+	if got.Puts == 0 {
+		t.Error("puts_total = 0 after a cold query")
+	}
+	if got.Hits == 0 {
+		t.Error("hits_total = 0 after a repeated query")
+	}
+	for name, want := range map[string]uint64{
+		"wsn_store_hits_total":        got.Hits,
+		"wsn_store_misses_total":      got.Misses,
+		"wsn_store_puts_total":        got.Puts,
+		"wsn_store_evictions_total":   got.Evictions,
+		"wsn_store_disk_hits_total":   got.DiskHits,
+		"wsn_store_disk_errors_total": got.DiskErrors,
+	} {
+		if v := metricValue(t, ts.URL, name); uint64(v) != want {
+			t.Errorf("%s = %v in scrape, %d in JSON", name, v, want)
+		}
+	}
+	if got.Memory == nil {
+		t.Fatal("no memory block on a store-backed server")
+	}
+	stats := st.Stats()
+	if got.Memory.Entries != stats.Entries || got.Memory.Bytes != stats.Bytes {
+		t.Errorf("memory block %+v, store reports %+v", *got.Memory, stats)
+	}
+	if got.Memory.Entries == 0 || got.Memory.Bytes == 0 {
+		t.Errorf("empty memory tier after a stored query: %+v", *got.Memory)
+	}
+}
+
+// TestStoreStatsWithoutStore checks the endpoint degrades gracefully on a
+// server built without a result store: configured=false and no memory block,
+// while the process-wide counters still render.
+func TestStoreStatsWithoutStore(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	got := getStoreStats(t, ts.URL)
+	if got.Configured {
+		t.Fatal("storeless server reports configured=true")
+	}
+	if got.Memory != nil {
+		t.Fatalf("storeless server carries a memory block: %+v", *got.Memory)
+	}
+}

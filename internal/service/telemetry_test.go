@@ -56,6 +56,11 @@ var requiredFamilies = []string{
 	"wsn_netsim_backoffs_total",
 	"wsn_netsim_prune_fallback_total",
 	"wsn_netsim_heap_depth_max",
+	"wsn_lifetime_runs_total",
+	"wsn_lifetime_epochs_total",
+	"wsn_lifetime_deaths_total",
+	"wsn_lifetime_simulated_seconds_total",
+	"wsn_lifetime_fast_forward_seconds_total",
 	"wsn_store_hits_total",
 	"wsn_store_misses_total",
 	"wsn_store_puts_total",

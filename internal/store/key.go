@@ -61,6 +61,7 @@ var keyRelevant = map[string]bool{
 	"batch":      true,
 	"config":     true,
 	"sim":        true,
+	"lifetime":   true,
 	"losses":     true,
 	"payloads":   true,
 	"bos":        true,

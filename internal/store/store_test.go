@@ -38,6 +38,7 @@ func queriesAllKinds() []query.Query {
 		{Kind: query.KindThresholds, Losses: &query.Axis{Values: []query.Float{60, 70, 80}}},
 		{Kind: query.KindSimulate, Sim: &query.SimConfigWire{Nodes: intPtr(10), Superframes: intPtr(4)}},
 		{Kind: query.KindReplicas, Sim: &query.SimConfigWire{Nodes: intPtr(10), Superframes: intPtr(4)}, Replicas: 4},
+		{Kind: query.KindLifetime, Sim: &query.SimConfigWire{Nodes: intPtr(6)}, Lifetime: &query.LifetimeWire{EpochSuperframes: intPtr(4)}, Replicas: 2},
 		{Kind: query.KindScenario, Scenario: "dense-cell"},
 		{Kind: query.KindExperiment, Experiment: "fig7"},
 		gridQuery(),
@@ -60,6 +61,7 @@ func TestKeyFieldClassification(t *testing.T) {
 		"batch":      func(q *query.Query) { q.Batch = []query.ParamsWire{{}} },
 		"config":     func(q *query.Query) { q.Config = &query.CaseStudyConfigWire{} },
 		"sim":        func(q *query.Query) { q.Sim = &query.SimConfigWire{} },
+		"lifetime":   func(q *query.Query) { q.Lifetime = &query.LifetimeWire{} },
 		"losses":     func(q *query.Query) { q.Losses = &query.Axis{Values: []query.Float{60}} },
 		"payloads":   func(q *query.Query) { q.Payloads = &query.IntAxis{Values: []int{20}} },
 		"bos":        func(q *query.Query) { q.BOs = &query.IntAxis{Values: []int{5}} },
